@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the §IV-A greedy allocator: single placements
+//! and whole job-mix traces (the paper's "1,000x1,000 HxMesh in under a
+//! second" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammingmesh::hxalloc::experiments::{allocate_mix, fig8_strategies};
+use hammingmesh::hxalloc::workload::{JobMix, JobSizeDistribution};
+use hammingmesh::prelude::*;
+
+fn bench_single_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_single");
+    for side in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("16x16_job", side), &side, |b, &side| {
+            b.iter(|| {
+                let mut mesh = BoardMesh::new(side, side);
+                mesh.allocate(1, 16.min(side), 16.min(side), Heuristics::all()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let strat = fig8_strategies()[4]; // greedy+transpose+aspect+sort
+    let mut g = c.benchmark_group("alloc_trace");
+    for side in [16usize, 32] {
+        let dist = JobSizeDistribution::for_cluster(side * side);
+        let mix = JobMix::draw(&dist, side * side, 42);
+        g.bench_with_input(BenchmarkId::new("full_mix", side), &mix, |b, mix| {
+            b.iter(|| {
+                let mut mesh = BoardMesh::new(side, side);
+                allocate_mix(&mut mesh, mix, strat)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The paper's scalability claim: a 1,000x1,000 HxMesh allocates "in less
+/// than one second"; we benchmark one large job on that mesh.
+fn bench_paper_scale(c: &mut Criterion) {
+    c.bench_function("alloc_1000x1000_single", |b| {
+        b.iter(|| {
+            let mut mesh = BoardMesh::new(1000, 1000);
+            mesh.allocate(1, 100, 100, Heuristics::none()).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_single_alloc, bench_trace, bench_paper_scale
+}
+criterion_main!(benches);

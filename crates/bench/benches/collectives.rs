@@ -1,0 +1,50 @@
+//! Criterion benchmarks of schedule generation and the logical executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammingmesh::hxcollect::allreduce::{disjoint_rings_allreduce, ring_allreduce, torus2d_allreduce};
+use hammingmesh::hxcollect::logical::check_allreduce;
+use hammingmesh::hxcollect::rings::disjoint_hamiltonian_cycles;
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_gen");
+    for p in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("ring", p), &p, |b, &p| {
+            b.iter(|| ring_allreduce(p, 4 * p))
+        });
+        let side = (p as f64).sqrt() as usize;
+        g.bench_with_input(BenchmarkId::new("torus2d", p), &p, |b, _| {
+            b.iter(|| torus2d_allreduce(side, side, 4 * p, true))
+        });
+        g.bench_with_input(BenchmarkId::new("disjoint_rings", p), &p, |b, _| {
+            b.iter(|| disjoint_rings_allreduce(side, side, 4 * p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hamiltonian_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hamiltonian");
+    for (r, cc) in [(16usize, 8usize), (64, 8), (128, 16)] {
+        g.bench_with_input(BenchmarkId::new("disjoint", r * cc), &(r, cc), |b, &(r, cc)| {
+            b.iter(|| disjoint_hamiltonian_cycles(r, cc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_logical_executor(c: &mut Criterion) {
+    c.bench_function("logical_check_ring_32", |b| {
+        let s = ring_allreduce(32, 128);
+        b.iter(|| check_allreduce(&s).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_schedule_generation, bench_hamiltonian_cycles, bench_logical_executor
+}
+criterion_main!(benches);

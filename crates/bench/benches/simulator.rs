@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the packet simulator: event rate and
+//! end-to-end collective runs on small topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hammingmesh::prelude::*;
+use hammingmesh::hxsim::apps::{Alltoall, UniformRandom};
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_alltoall");
+    for boards in [2usize, 4] {
+        let net = HxMeshParams::square(2, boards).build();
+        let n = net.num_ranks();
+        g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+        g.bench_with_input(BenchmarkId::new("hx2mesh", n), &net, |b, net| {
+            b.iter(|| {
+                let mut app = Alltoall::new(net.num_ranks(), 16 << 10, 2);
+                let stats = Engine::new(net, SimConfig::default()).run(&mut app);
+                assert!(stats.clean());
+                stats.finish_ps
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    let net = TorusParams { cols: 8, rows: 8, board: 2 }.build();
+    c.bench_function("sim_uniform_random_64", |b| {
+        b.iter(|| {
+            let mut app = UniformRandom::new(net.num_ranks(), 32 << 10, 4, 1);
+            let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+            assert!(stats.clean());
+            stats.events
+        })
+    });
+}
+
+fn bench_allreduce_measurement(c: &mut Criterion) {
+    let net = HxMeshParams::square(2, 2).build();
+    c.bench_function("sim_rings_allreduce_16x1MiB", |b| {
+        b.iter(|| {
+            let m = experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, 1 << 20);
+            assert!(m.clean);
+            m.time_ps
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_alltoall, bench_event_rate, bench_allreduce_measurement
+}
+criterion_main!(benches);

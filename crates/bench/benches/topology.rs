@@ -1,0 +1,72 @@
+//! Criterion benchmarks of topology construction and routing-table builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hammingmesh::prelude::*;
+use hammingmesh::hxnet::route::ZeroLoad;
+use rand::SeedableRng;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.bench_function("hx2mesh_16x16", |b| b.iter(|| HxMeshParams::small_hx2().build()));
+    g.bench_function("hx4mesh_8x8", |b| b.iter(|| HxMeshParams::small_hx4().build()));
+    g.bench_function("fat_tree_1k", |b| b.iter(|| FatTreeParams::small_nonblocking().build()));
+    g.bench_function("dragonfly_1k", |b| b.iter(|| DragonflyParams::small().build()));
+    g.bench_function("torus_1k", |b| b.iter(|| TorusParams::small().build()));
+    g.finish();
+}
+
+fn bench_routing_walks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_walk");
+    for choice in [TopologyChoice::Hx2Mesh, TopologyChoice::FatTree, TopologyChoice::Torus] {
+        let net = choice.build_scaled(256);
+        g.bench_with_input(BenchmarkId::new("pairs", choice.name()), &net, |b, net| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| {
+                use rand::Rng;
+                let n = net.num_ranks();
+                let (s, d) = (rng.random_range(0..n), (rng.random_range(1..n)));
+                let (mut node, dst) =
+                    (net.endpoints[s], net.endpoints[(s + d) % n]);
+                let mut vc = 0u8;
+                let mut hops = 0u32;
+                let mut cand = Vec::new();
+                while node != dst && hops < 64 {
+                    cand.clear();
+                    net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+                    let h = cand[0];
+                    node = net.topo.peer(node, h.port).node;
+                    vc = h.vc;
+                    hops += 1;
+                }
+                hops
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_waypoint_selection(c: &mut Criterion) {
+    let net = HxMeshParams::small_hx2().build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    c.bench_function("hxmesh_waypoint", |b| {
+        b.iter(|| {
+            net.router.select_waypoint(
+                &net.topo,
+                net.endpoints[0],
+                net.endpoints[1023],
+                &ZeroLoad,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_builders, bench_routing_walks, bench_waypoint_selection
+}
+criterion_main!(benches);

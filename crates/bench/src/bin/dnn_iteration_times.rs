@@ -1,0 +1,66 @@
+//! Regenerates the **§V-B iteration-time numbers** (e.g. GPT-3: 34.8 ms on
+//! a nonblocking fat tree, 41.7 ms on Hx2Mesh, 72.2 ms on the torus) with
+//! the α-β model, and cross-checks a scaled-down GPT-3 iteration on the
+//! packet simulator.
+
+use hammingmesh::hxcollect::simapp::ScheduleApp;
+use hammingmesh::hxmodels::analytic::{estimate_iteration, TopologyPerf};
+use hammingmesh::hxmodels::schedule::{build_iteration, ScaledConfig};
+use hammingmesh::hxmodels::DnnWorkload;
+use hammingmesh::prelude::*;
+use hxbench::{header, timed, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let perfs = TopologyPerf::table2_small();
+
+    header("§V-B — modeled iteration times [ms]");
+    print!("{:<24}", "topology");
+    for w in DnnWorkload::all() {
+        print!(" {:>10}", w.name);
+    }
+    println!();
+    for t in &perfs {
+        print!("{:<24}", t.name);
+        for w in DnnWorkload::all() {
+            let e = estimate_iteration(&w, t);
+            print!(" {:>9.1}ms", e.iteration_ms() * 1.0);
+        }
+        println!();
+    }
+    println!(
+        "\nPaper iteration times (nonbl. FT / torus / Hx2 / Hx4):\n\
+         ResNet 109.7/110.1/110.1/110.1; GPT-3 34.8/72.2/41.7/49.9;\n\
+         GPT-3 MoE 52.2/73.8/58.3/63.3; DLRM 2.96/3.12/2.97/3.00 ms."
+    );
+
+    header("scaled GPT-3 iteration on the packet simulator");
+    let w = DnnWorkload::gpt3();
+    let mut cfg = ScaledConfig::fit(&w, if args.full { 64 } else { 16 });
+    cfg.bytes_scale = if args.full { 0.01 } else { 0.002 };
+    let sched = build_iteration(&w, &cfg);
+    println!(
+        "scale: D={} P={} O={} ({} ranks), {} ops",
+        cfg.parallelism.d,
+        cfg.parallelism.p,
+        cfg.parallelism.o,
+        cfg.parallelism.total(),
+        sched.num_ops()
+    );
+    let nets: Vec<(&str, Network)> = vec![
+        ("Hx2Mesh", HxMeshParams::square(2, 2).build()),
+        ("2D torus", TorusParams { cols: 4, rows: 4, board: 2 }.build()),
+        ("fat tree", FatTreeParams::scaled_nonblocking(16, 16).build()),
+    ];
+    for (name, net) in &nets {
+        let mut app = ScheduleApp::new(&sched);
+        let stats = timed(name, || Engine::new(net, SimConfig::default()).run(&mut app));
+        println!(
+            "{:<10} iteration {:>8.3} ms  ({} events, clean={})",
+            name,
+            stats.finish_ps as f64 / 1e9,
+            stats.events,
+            stats.clean()
+        );
+    }
+}

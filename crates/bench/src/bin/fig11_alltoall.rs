@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 11**: alltoall bandwidth (share of injection) versus
+//! message size on the small-cluster topologies.
+
+use hammingmesh::prelude::*;
+use hxbench::{fmt_bytes, header, timed, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = if args.full { 1024 } else { 256 };
+    let sizes: &[u64] = if args.full {
+        &[8 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20]
+    } else {
+        &[8 << 10, 32 << 10, 128 << 10]
+    };
+
+    header(&format!("Fig. 11 — alltoall bandwidth vs message size ({n} endpoints)"));
+    print!("{:<24}", "topology");
+    for &s in sizes {
+        print!(" {:>10}", fmt_bytes(s));
+    }
+    println!();
+    for choice in TopologyChoice::all() {
+        let net = if args.full { choice.build_small() } else { choice.build_scaled(n) };
+        print!("{:<24}", choice.name());
+        for &s in sizes {
+            let m = timed(&format!("{} {}", choice.name(), fmt_bytes(s)), || {
+                experiments::alltoall_bandwidth(&net, s, 2)
+            });
+            print!(
+                " {:>9.1}%{}",
+                m.bw_fraction * 100.0,
+                if m.clean { "" } else { "!" }
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shape (paper): fat tree ~100%, HyperX ~90%, Hx2Mesh ~25% (cut 1/2a=1/4),\n\
+         Hx4Mesh ~12% (1/8), torus worst; small clusters exceed the cut bound slightly\n\
+         because not all traffic crosses the bisection."
+    );
+}

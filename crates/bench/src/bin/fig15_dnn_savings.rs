@@ -1,0 +1,47 @@
+//! Regenerates **Fig. 15**: relative network-cost savings of Hx2Mesh and
+//! Hx4Mesh versus the other topologies for the five DNN workloads
+//! (savings = cost ratio x communication-overhead ratio, §V-B5).
+
+use hammingmesh::hxmodels::analytic::{fig15_savings, TopologyPerf};
+use hammingmesh::hxmodels::DnnWorkload;
+use hxbench::{header, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let perfs = if args.full {
+        TopologyPerf::table2_large()
+    } else {
+        TopologyPerf::table2_small()
+    };
+    let cluster = if args.full { "large" } else { "small" };
+
+    for hx_name in ["Hx2Mesh", "Hx4Mesh"] {
+        let hx = perfs.iter().find(|t| t.name == hx_name).unwrap().clone();
+        header(&format!(
+            "Fig. 15 — relative cost savings of {hx_name} ({cluster} cluster)"
+        ));
+        print!("{:<24}", "baseline");
+        for w in DnnWorkload::all() {
+            print!(" {:>10}", w.name);
+        }
+        println!();
+        for base in &perfs {
+            if base.name == hx_name {
+                continue;
+            }
+            print!("{:<24}", base.name);
+            for w in DnnWorkload::all() {
+                let s = fig15_savings(&w, base, &hx);
+                print!(" {:>9.1}x", s);
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nPaper (small cluster, Hx2Mesh row 1 = vs nonblocking fat tree):\n\
+         ResNet 3.7, GPT-3 1.4, GPT-3 MoE 0.8, CosmoFlow 2.5, DLRM 4.0;\n\
+         Hx4Mesh vs nonblocking FT: 7.8, 1.5, 2.7, 3.0, 5.6. Shape to check: HxMeshes\n\
+         save most on bandwidth-bound models (ResNet, DLRM), least on the\n\
+         communication-intensive transformers; Hx4Mesh > Hx2Mesh savings."
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Fig. 16**: the two edge-disjoint Hamiltonian cycles for
+//! the 4x4, 8x4, 9x3 and 16x8 tori, drawn as ASCII (G = green-only edge,
+//! R = red-only edge at each node's east/south connection).
+
+use hammingmesh::hxcollect::rings::{
+    disjoint_hamiltonian_cycles, validate_cycle, validate_disjoint,
+};
+use hxbench::header;
+use std::collections::HashSet;
+
+fn main() {
+    for (r, c) in [(4usize, 4usize), (8, 4), (9, 3), (16, 8)] {
+        header(&format!("Fig. 16 — disjoint Hamiltonian cycles on {r}x{c} torus"));
+        let (green, red) = disjoint_hamiltonian_cycles(r, c).expect("feasible size");
+        validate_cycle(&green, r, c).unwrap();
+        validate_cycle(&red, r, c).unwrap();
+        validate_disjoint(&green, &red).unwrap();
+
+        let edge_set = |cy: &[(usize, usize)]| -> HashSet<((usize, usize), (usize, usize))> {
+            (0..cy.len())
+                .map(|i| {
+                    let (a, b) = (cy[i], cy[(i + 1) % cy.len()]);
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect()
+        };
+        let ge = edge_set(&green);
+        let re = edge_set(&red);
+        let mark = |a: (usize, usize), b: (usize, usize)| -> char {
+            let e = if a <= b { (a, b) } else { (b, a) };
+            if ge.contains(&e) {
+                'G'
+            } else if re.contains(&e) {
+                'R'
+            } else {
+                ' '
+            }
+        };
+        // Draw the grid: each cell shows its east and south edge color.
+        for i in 0..r {
+            let mut row1 = String::new();
+            let mut row2 = String::new();
+            for j in 0..c {
+                row1.push('o');
+                row1.push(mark((i, j), (i, (j + 1) % c)));
+            }
+            for j in 0..c {
+                row2.push(mark((i, j), ((i + 1) % r, j)));
+                row2.push(' ');
+            }
+            println!("{row1}");
+            println!("{row2}");
+        }
+        println!(
+            "green len {}, red len {}, edges disjoint, together covering all {} torus edges",
+            green.len(),
+            red.len(),
+            2 * r * c
+        );
+    }
+}

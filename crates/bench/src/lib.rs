@@ -1,0 +1,68 @@
+//! Shared plumbing for the per-figure benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §3 for the index) and prints the same rows/series the paper
+//! reports. By default they run at a reduced scale that finishes in
+//! seconds; pass `--full` for the paper-scale configuration (hours).
+
+use std::time::Instant;
+
+/// Parsed command line shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Run paper-scale sizes instead of the quick defaults.
+    pub full: bool,
+    /// Override trace/repetition counts.
+    pub traces: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut out = Self { full: false, traces: None, seed: 0xC0FFEE };
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--traces" => {
+                    out.traces = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    out.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(out.seed);
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --full  --traces N  --seed S");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+/// Print a section header in the style used by all binaries.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Time a closure and report wall-clock seconds on stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    eprintln!("[{label}] {:.2}s", t0.elapsed().as_secs_f64());
+    out
+}
+
+/// Human-readable byte size for axes.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}

@@ -1,0 +1,262 @@
+//! The allocation experiments behind Figs. 8, 9 and 10.
+//!
+//! Each function runs many random job traces (drawn from the Fig. 7
+//! distribution) against a mesh and reports utilization / upper-level
+//! traffic statistics. The bench binaries print them in the papers'
+//! figure layout; tests assert the qualitative claims (§IV-B).
+
+use crate::mesh::{BoardMesh, Heuristics};
+use crate::workload::{JobMix, JobSizeDistribution};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A heuristic stack from Fig. 8's legend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Strategy {
+    pub heuristics: Heuristics,
+    /// Allocate jobs largest-first instead of arrival order.
+    pub sort: bool,
+    pub name: &'static str,
+}
+
+/// The six stacks of Fig. 8, in legend order.
+pub fn fig8_strategies() -> Vec<Strategy> {
+    let h = |transpose, aspect, locality| Heuristics { transpose, aspect, locality };
+    vec![
+        Strategy { heuristics: h(false, false, false), sort: false, name: "greedy" },
+        Strategy { heuristics: h(true, false, false), sort: false, name: "greedy+transpose" },
+        Strategy { heuristics: h(true, true, false), sort: false, name: "greedy+transpose+aspect" },
+        Strategy {
+            heuristics: h(true, true, true),
+            sort: false,
+            name: "greedy+transpose+aspect+locality",
+        },
+        Strategy { heuristics: h(true, true, false), sort: true, name: "greedy+transpose+aspect+sort" },
+        Strategy {
+            heuristics: h(true, true, true),
+            sort: true,
+            name: "greedy+transpose+aspect+sort+locality",
+        },
+    ]
+}
+
+/// Summary statistics over many traces.
+#[derive(Clone, Debug, Default)]
+pub struct Distribution {
+    pub samples: Vec<f64>,
+}
+
+impl Distribution {
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        v[idx]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+}
+
+/// Allocate one job mix on a fresh or pre-failed mesh; returns the final
+/// mesh (with per-job placements) and its utilization.
+pub fn allocate_mix(
+    mesh: &mut BoardMesh,
+    mix: &JobMix,
+    strat: Strategy,
+) -> f64 {
+    let mut jobs: Vec<(usize, usize)> = mix.shapes.clone();
+    if strat.sort {
+        jobs.sort_by_key(|&(u, v)| std::cmp::Reverse(u * v));
+    }
+    for (id, &(u, v)) in jobs.iter().enumerate() {
+        // Failed allocations are skipped (the paper reports the utilization
+        // achieved by whatever fits).
+        let _ = mesh.allocate(id as u32, u, v, strat.heuristics);
+    }
+    debug_assert!(mesh.check_invariants().is_ok());
+    mesh.utilization()
+}
+
+/// Fig. 8: utilization distribution of `traces` random job mixes on an
+/// `x` x `y` mesh under one strategy.
+pub fn fig8_utilization(x: usize, y: usize, traces: usize, strat: Strategy, seed: u64) -> Distribution {
+    let dist = JobSizeDistribution::for_cluster(x * y);
+    let samples: Vec<f64> = (0..traces)
+        .into_par_iter()
+        .map(|t| {
+            let mix = JobMix::draw(&dist, x * y, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut mesh = BoardMesh::new(x, y);
+            allocate_mix(&mut mesh, &mix, strat)
+        })
+        .collect();
+    Distribution { samples }
+}
+
+/// Fig. 9: average share of traffic crossing the upper fat-tree levels for
+/// the jobs of random mixes, for alltoall and allreduce traffic.
+pub fn fig9_upper_traffic(
+    x: usize,
+    y: usize,
+    traces: usize,
+    strat: Strategy,
+    seed: u64,
+) -> (Distribution, Distribution) {
+    let dist = JobSizeDistribution::for_cluster(x * y);
+    let pairs: Vec<(f64, f64)> = (0..traces)
+        .into_par_iter()
+        .map(|t| {
+            let mix = JobMix::draw(&dist, x * y, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut mesh = BoardMesh::new(x, y);
+            allocate_mix(&mut mesh, &mix, strat);
+            let (mut a2a, mut ar, mut boards) = (0.0, 0.0, 0usize);
+            for p in mesh.placements() {
+                let w = p.boards() as f64;
+                a2a += mesh.upper_traffic_alltoall(&p.rows, &p.cols) * w;
+                ar += mesh.upper_traffic_allreduce(&p.rows, &p.cols) * w;
+                boards += p.boards();
+            }
+            if boards == 0 {
+                (0.0, 0.0)
+            } else {
+                (a2a / boards as f64, ar / boards as f64)
+            }
+        })
+        .collect();
+    let mut alltoall = Distribution::default();
+    let mut allreduce = Distribution::default();
+    for (a, b) in pairs {
+        alltoall.push(a);
+        allreduce.push(b);
+    }
+    (alltoall, allreduce)
+}
+
+/// Fig. 10: utilization of *working* boards with `failures` random failed
+/// boards, over `traces` mixes.
+pub fn fig10_failures(
+    x: usize,
+    y: usize,
+    failures: usize,
+    traces: usize,
+    sorted: bool,
+    seed: u64,
+) -> Distribution {
+    let strat = Strategy {
+        heuristics: Heuristics { transpose: true, aspect: true, locality: false },
+        sort: sorted,
+        name: if sorted { "sorted" } else { "unsorted" },
+    };
+    let samples: Vec<f64> = (0..traces)
+        .into_par_iter()
+        .map(|t| {
+            let tseed = seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = StdRng::seed_from_u64(tseed);
+            let mut mesh = BoardMesh::new(x, y);
+            let mut cells: Vec<(usize, usize)> =
+                (0..y).flat_map(|r| (0..x).map(move |c| (r, c))).collect();
+            cells.shuffle(&mut rng);
+            for &(r, c) in cells.iter().take(failures.min(cells.len())) {
+                mesh.fail_board(r, c);
+            }
+            let dist = JobSizeDistribution::for_cluster(x * y);
+            let mix = JobMix::draw(&dist, mesh.working_boards(), tseed ^ 0xABCD);
+            allocate_mix(&mut mesh, &mix, strat)
+        })
+        .collect();
+    Distribution { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §IV-B: "even without any optimization, the greedy algorithm leads
+    /// to a 90% system utilization", and each heuristic helps.
+    #[test]
+    fn fig8_qualitative_claims_small_hx2() {
+        let strategies = fig8_strategies();
+        let greedy = fig8_utilization(16, 16, 40, strategies[0], 11);
+        assert!(
+            greedy.mean() > 0.78,
+            "plain greedy utilization {:.3} (paper: ~0.90)",
+            greedy.mean()
+        );
+        let transpose = fig8_utilization(16, 16, 40, strategies[1], 11);
+        assert!(
+            transpose.mean() >= greedy.mean() + 0.01,
+            "transpose should add ~5% as in Fig. 8: {:.3} vs {:.3}",
+            transpose.mean(),
+            greedy.mean()
+        );
+        let sorted = fig8_utilization(16, 16, 40, strategies[4], 11);
+        assert!(
+            sorted.mean() > 0.93,
+            "sorted stack utilization {:.3} (paper: >0.98)",
+            sorted.mean()
+        );
+        assert!(sorted.mean() >= transpose.mean());
+    }
+
+    /// §IV-B / Fig. 9: upper-level traffic below 50%, and locality reduces
+    /// it.
+    #[test]
+    fn fig9_upper_traffic_below_half() {
+        let strategies = fig8_strategies();
+        let (a2a, ar) = fig9_upper_traffic(64, 64, 8, strategies[2], 5);
+        assert!(a2a.mean() < 0.5, "alltoall upper traffic {:.3}", a2a.mean());
+        assert!(ar.mean() < 0.2, "allreduce upper traffic {:.3}", ar.mean());
+        let (a2a_loc, _) = fig9_upper_traffic(64, 64, 8, strategies[3], 5);
+        assert!(
+            a2a_loc.mean() <= a2a.mean() + 0.02,
+            "locality should not increase upper traffic: {:.3} vs {:.3}",
+            a2a_loc.mean(),
+            a2a.mean()
+        );
+    }
+
+    /// Fig. 10: with failures, median utilization of working boards stays
+    /// above 70% (paper: "almost all cases higher than 70%").
+    #[test]
+    fn fig10_failure_resilience() {
+        let d = fig10_failures(16, 16, 20, 30, true, 3);
+        assert!(d.median() > 0.70, "median {:.3}", d.median());
+        // Unsorted decreases utilization by at most ~10% (paper claim).
+        let du = fig10_failures(16, 16, 20, 30, false, 3);
+        assert!(
+            d.median() - du.median() < 0.15,
+            "sorted {:.3} vs unsorted {:.3}",
+            d.median(),
+            du.median()
+        );
+    }
+
+    #[test]
+    fn distribution_stats() {
+        let mut d = Distribution::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            d.push(v);
+        }
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.median(), 3.0);
+        assert_eq!(d.percentile(1.0), 5.0);
+        assert_eq!(d.percentile(0.0), 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! α-β analytic runtime models for the collectives (§V-A2).
+//!
+//! `alpha_ps` is the per-message latency, `beta_ps_per_byte` the inverse
+//! bandwidth of **one** network interface (20 ps/B at 400 Gb/s). The
+//! formulas are the paper's; the tests in `tests/` compare them against the
+//! packet simulator.
+
+/// Model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaBeta {
+    /// Per-hop/message startup latency in picoseconds.
+    pub alpha_ps: f64,
+    /// Seconds-per-byte equivalent in ps/B of a single interface.
+    pub beta_ps_per_byte: f64,
+}
+
+impl AlphaBeta {
+    /// 400 Gb/s interfaces with ~1 µs software/packet startup.
+    pub fn default_400g() -> Self {
+        Self { alpha_ps: 1_000_000.0, beta_ps_per_byte: 20.0 }
+    }
+}
+
+impl AlphaBeta {
+    /// Binomial tree allreduce (§V-A2a): `T ≈ log2(p)·α + log2(p)·S·β`.
+    pub fn tree_allreduce(&self, p: usize, s_bytes: u64) -> f64 {
+        let l = (p as f64).log2().ceil();
+        l * self.alpha_ps + l * s_bytes as f64 * self.beta_ps_per_byte
+    }
+
+    /// Unidirectional pipelined ring (§V-A2b): `Tp ≈ 2pα + 2Sβ`.
+    pub fn ring_allreduce(&self, p: usize, s_bytes: u64) -> f64 {
+        2.0 * p as f64 * self.alpha_ps + 2.0 * s_bytes as f64 * self.beta_ps_per_byte
+    }
+
+    /// Bidirectional pipelined ring (§V-A2b): `Tbp ≈ 2pα + Sβ`.
+    pub fn bidirectional_ring_allreduce(&self, p: usize, s_bytes: u64) -> f64 {
+        2.0 * p as f64 * self.alpha_ps + s_bytes as f64 * self.beta_ps_per_byte
+    }
+
+    /// Two bidirectional rings on disjoint Hamiltonian cycles (§V-A2b):
+    /// `Trings ≈ 2pα + (S/2)β`.
+    pub fn disjoint_rings_allreduce(&self, p: usize, s_bytes: u64) -> f64 {
+        2.0 * p as f64 * self.alpha_ps + 0.5 * s_bytes as f64 * self.beta_ps_per_byte
+    }
+
+    /// 2D torus algorithm (§V-A2c):
+    /// `T ≈ 4√p α + Sβ (1 + 2√p) / (4√p)`.
+    pub fn torus2d_allreduce(&self, p: usize, s_bytes: u64) -> f64 {
+        let sq = (p as f64).sqrt();
+        4.0 * sq * self.alpha_ps
+            + s_bytes as f64 * self.beta_ps_per_byte * (1.0 + 2.0 * sq) / (4.0 * sq)
+    }
+
+    /// Optimal large-message allreduce bus bandwidth: every byte must enter
+    /// and leave each node once; with `k` interfaces the bound is
+    /// `T ≥ 2S/(k/β) = 2Sβ/k` — i.e. "1/2 of the injection bandwidth"
+    /// (Table II's allreduce normalization).
+    pub fn allreduce_lower_bound(&self, s_bytes: u64, interfaces: usize) -> f64 {
+        2.0 * s_bytes as f64 * self.beta_ps_per_byte / interfaces as f64
+    }
+
+    /// Balanced-shift alltoall on a nonblocking fabric: each rank streams
+    /// `(p-1)·S` bytes at one interface's rate.
+    pub fn alltoall(&self, p: usize, s_bytes_per_pair: u64, interfaces: usize) -> f64 {
+        (p as f64 - 1.0)
+            * (self.alpha_ps
+                + s_bytes_per_pair as f64 * self.beta_ps_per_byte / interfaces as f64)
+    }
+}
+
+/// The "allreduce bandwidth as share of peak" metric from Table II: peak is
+/// half the injection bandwidth; reported value is
+/// `S / T` normalized by `inj/2`, where `inj` is bytes/ps of all interfaces.
+pub fn allreduce_bw_fraction(s_bytes: u64, t_ps: u64, inj_bytes_per_ps: f64) -> f64 {
+    if t_ps == 0 {
+        return 0.0;
+    }
+    let achieved = s_bytes as f64 / t_ps as f64; // bytes/ps of "allreduce work"
+    achieved / (inj_bytes_per_ps / 2.0)
+}
+
+/// Global (alltoall) bandwidth as share of injection (Table II): bytes each
+/// rank sends divided by runtime, over the injection bandwidth.
+pub fn alltoall_bw_fraction(
+    bytes_per_rank: u64,
+    t_ps: u64,
+    inj_bytes_per_ps: f64,
+) -> f64 {
+    if t_ps == 0 {
+        return 0.0;
+    }
+    (bytes_per_rank as f64 / t_ps as f64) / inj_bytes_per_ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_formulas_are_consistent() {
+        let m = AlphaBeta::default_400g();
+        let (p, s) = (16, 64 << 20);
+        // Bidirectional halves the bandwidth term.
+        let uni = m.ring_allreduce(p, s);
+        let bi = m.bidirectional_ring_allreduce(p, s);
+        let rings = m.disjoint_rings_allreduce(p, s);
+        assert!(bi < uni && rings < bi);
+        // For large S the ratios approach 2x and 4x.
+        let ratio = (uni - 2.0 * p as f64 * m.alpha_ps) / (rings - 2.0 * p as f64 * m.alpha_ps);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_beats_rings_at_small_sizes() {
+        // §V-A2c: the torus algorithm trades bandwidth for latency; at
+        // small S and large p it wins, at large S the rings win.
+        let m = AlphaBeta::default_400g();
+        let p = 64;
+        let small = 64 * 1024;
+        let large = 512 << 20;
+        assert!(m.torus2d_allreduce(p, small) < m.disjoint_rings_allreduce(p, small));
+        assert!(m.torus2d_allreduce(p, large) > m.disjoint_rings_allreduce(p, large));
+    }
+
+    #[test]
+    fn lower_bound_is_below_algorithms() {
+        let m = AlphaBeta::default_400g();
+        let (p, s) = (64, 512 << 20);
+        let lb = m.allreduce_lower_bound(s, 4);
+        assert!(lb <= m.disjoint_rings_allreduce(p, s));
+        assert!(lb <= m.torus2d_allreduce(p, s));
+    }
+
+    #[test]
+    fn bw_fraction_normalization() {
+        // A perfect allreduce at the bound reports fraction 1.0.
+        let m = AlphaBeta::default_400g();
+        let s = 1 << 30;
+        let inj = 4.0 / m.beta_ps_per_byte; // 4 ports
+        let t = m.allreduce_lower_bound(s, 4) as u64;
+        let f = allreduce_bw_fraction(s, t, inj);
+        assert!((f - 1.0).abs() < 1e-6, "{f}");
+    }
+}

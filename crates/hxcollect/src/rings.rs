@@ -1,0 +1,268 @@
+//! Edge-disjoint Hamiltonian cycles on a 2D torus (App. D).
+//!
+//! The bidirectional-ring allreduce of §V-A2b uses all four accelerator
+//! ports of an HxMesh plane by mapping two bidirectional pipelined rings
+//! onto two *edge-disjoint* Hamiltonian cycles of the logical `r x c`
+//! torus. Bae, AlBdaiwi & Bose give a construction that works iff
+//! `r = k*c` (k >= 1) and `gcd(r, c-1) = 1`.
+//!
+//! We build the first ("green") cycle in closed form: node `X` of the
+//! traversal sits at torus coordinates `(X / c, (X%c + (c-1)*(X/c)) mod c)`
+//! — a row snake whose row-to-row transitions are vertical torus edges, and
+//! whose closure needs `c | r`. A 2D torus is 4-regular with `2rc` edges
+//! and two Hamiltonian cycles use exactly `2rc` edges, so the second
+//! ("red") cycle must consist of precisely the edges the green cycle does
+//! *not* use; we extract it by walking that complement, and the
+//! `gcd(r, c-1) = 1` condition is exactly what makes the complement a
+//! single cycle (verified at runtime and by property tests).
+
+use std::collections::HashSet;
+
+/// Why disjoint cycles could not be constructed for a given `r x c`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// Construction requires `r = k*c` for integer `k >= 1`.
+    NotMultiple,
+    /// Construction requires `gcd(r, c-1) = 1`.
+    GcdCondition,
+    /// Degenerate dimension: tori with a side < 3 have parallel edges
+    /// (wrap = direct), which the edge-disjoint construction cannot use.
+    TooSmall,
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Check Bae et al.'s feasibility conditions.
+pub fn feasible(r: usize, c: usize) -> Result<(), RingError> {
+    if r < 3 || c < 3 {
+        return Err(RingError::TooSmall);
+    }
+    if r % c != 0 {
+        return Err(RingError::NotMultiple);
+    }
+    if gcd(r, c - 1) != 1 {
+        return Err(RingError::GcdCondition);
+    }
+    Ok(())
+}
+
+/// The closed-form "green" Hamiltonian cycle: position of traversal step
+/// `x` on the `r x c` torus.
+pub fn green_coord(x: usize, r: usize, c: usize) -> (usize, usize) {
+    let (x1, x0) = (x / c, x % c);
+    debug_assert!(x1 < r);
+    (x1, (x0 + (c - 1) * x1) % c)
+}
+
+/// A Hamiltonian cycle as the ordered list of (row, col) coordinates.
+pub type Cycle = Vec<(usize, usize)>;
+
+/// Torus edge between two coordinates (unordered, wrap-aware)?
+fn is_torus_edge(a: (usize, usize), b: (usize, usize), r: usize, c: usize) -> bool {
+    let dr = (a.0 + r - b.0) % r;
+    let dc = (a.1 + c - b.1) % c;
+    let row_step = (dr == 1 || dr == r - 1) && dc == 0;
+    let col_step = (dc == 1 || dc == c - 1) && dr == 0;
+    row_step ^ col_step
+}
+
+fn canonical_edge(a: (usize, usize), b: (usize, usize)) -> ((usize, usize), (usize, usize)) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Build the two edge-disjoint Hamiltonian cycles for an `r x c` torus.
+///
+/// Returns `(green, red)`; both have length `r*c` and together they use
+/// every torus edge exactly once.
+pub fn disjoint_hamiltonian_cycles(r: usize, c: usize) -> Result<(Cycle, Cycle), RingError> {
+    feasible(r, c)?;
+    let n = r * c;
+    let green: Cycle = (0..n).map(|x| green_coord(x, r, c)).collect();
+
+    // Collect green's edge set.
+    let mut used: HashSet<((usize, usize), (usize, usize))> = HashSet::with_capacity(n);
+    for i in 0..n {
+        let a = green[i];
+        let b = green[(i + 1) % n];
+        debug_assert!(is_torus_edge(a, b, r, c), "green step {i}: {a:?}->{b:?}");
+        used.insert(canonical_edge(a, b));
+    }
+    debug_assert_eq!(used.len(), n, "green cycle revisits an edge");
+
+    // The red cycle is the complement: every node has exactly two unused
+    // incident edges; walk them.
+    let neighbors = |p: (usize, usize)| -> [(usize, usize); 4] {
+        [
+            ((p.0 + 1) % r, p.1),
+            ((p.0 + r - 1) % r, p.1),
+            (p.0, (p.1 + 1) % c),
+            (p.0, (p.1 + c - 1) % c),
+        ]
+    };
+    let mut red: Cycle = Vec::with_capacity(n);
+    let start = (0usize, 0usize);
+    let mut prev = start;
+    // First unused edge out of start.
+    let mut cur = *neighbors(start)
+        .iter()
+        .find(|&&q| !used.contains(&canonical_edge(start, q)))
+        .ok_or(RingError::GcdCondition)?;
+    red.push(start);
+    while cur != start {
+        red.push(cur);
+        if red.len() > n {
+            return Err(RingError::GcdCondition);
+        }
+        let next = *neighbors(cur)
+            .iter()
+            .find(|&&q| q != prev && !used.contains(&canonical_edge(cur, q)))
+            .ok_or(RingError::GcdCondition)?;
+        prev = cur;
+        cur = next;
+    }
+    if red.len() != n {
+        // Complement decomposed into several cycles: conditions violated.
+        return Err(RingError::GcdCondition);
+    }
+    Ok((green, red))
+}
+
+/// A single Hamiltonian cycle for tori where the disjoint construction is
+/// infeasible: a boustrophedon (serpentine) over columns, needing an even
+/// number of columns, or over rows for an even number of rows. Falls back
+/// to the green closed form when `c | r`.
+pub fn single_hamiltonian_cycle(r: usize, c: usize) -> Option<Cycle> {
+    if r < 2 || c < 2 {
+        return None;
+    }
+    if r % c == 0 {
+        return Some((0..r * c).map(|x| green_coord(x, r, c)).collect());
+    }
+    if c % 2 == 0 {
+        // Snake down/up pairs of rows in each column strip, closing along
+        // row 0: (0,0) .. (0,c-1) handled by walking columns.
+        let mut cy = Vec::with_capacity(r * c);
+        // Walk: row 0 reserved as the "return rail".
+        for j in 0..c {
+            if j % 2 == 0 {
+                for i in 1..r {
+                    cy.push((i, j));
+                }
+            } else {
+                for i in (1..r).rev() {
+                    cy.push((i, j));
+                }
+            }
+        }
+        // Return along row 0.
+        for j in (0..c).rev() {
+            cy.push((0, j));
+        }
+        // Reorder so it starts at (0,0) and is a proper cycle.
+        debug_assert_eq!(cy.len(), r * c);
+        Some(cy)
+    } else if r % 2 == 0 {
+        single_hamiltonian_cycle(c, r)
+            .map(|cy| cy.into_iter().map(|(i, j)| (j, i)).collect())
+    } else {
+        None
+    }
+}
+
+/// Validate that `cycle` is a Hamiltonian cycle of the `r x c` torus.
+pub fn validate_cycle(cycle: &Cycle, r: usize, c: usize) -> Result<(), String> {
+    let n = r * c;
+    if cycle.len() != n {
+        return Err(format!("length {} != {}", cycle.len(), n));
+    }
+    let distinct: HashSet<_> = cycle.iter().collect();
+    if distinct.len() != n {
+        return Err("revisits a node".into());
+    }
+    for i in 0..n {
+        let (a, b) = (cycle[i], cycle[(i + 1) % n]);
+        if !is_torus_edge(a, b, r, c) {
+            return Err(format!("step {i}: {a:?} -> {b:?} is not a torus edge"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate that two cycles share no edge.
+pub fn validate_disjoint(a: &Cycle, b: &Cycle) -> Result<(), String> {
+    let n = a.len();
+    let ea: HashSet<_> =
+        (0..n).map(|i| canonical_edge(a[i], a[(i + 1) % n])).collect();
+    for i in 0..b.len() {
+        let e = canonical_edge(b[i], b[(i + 1) % b.len()]);
+        if ea.contains(&e) {
+            return Err(format!("shared edge {e:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four sizes of Fig. 16.
+    #[test]
+    fn paper_figure16_sizes() {
+        for (r, c) in [(4, 4), (8, 4), (9, 3), (16, 8)] {
+            let (g, red) = disjoint_hamiltonian_cycles(r, c)
+                .unwrap_or_else(|e| panic!("{r}x{c}: {e:?}"));
+            validate_cycle(&g, r, c).unwrap();
+            validate_cycle(&red, r, c).unwrap();
+            validate_disjoint(&g, &red).unwrap();
+        }
+    }
+
+    #[test]
+    fn infeasible_sizes_rejected() {
+        assert_eq!(disjoint_hamiltonian_cycles(4, 3), Err(RingError::NotMultiple));
+        // r=6, c=3: gcd(6,2)=2.
+        assert_eq!(disjoint_hamiltonian_cycles(6, 3), Err(RingError::GcdCondition));
+        assert_eq!(disjoint_hamiltonian_cycles(1, 4), Err(RingError::TooSmall));
+    }
+
+    #[test]
+    fn cycles_partition_all_edges() {
+        let (r, c) = (8, 4);
+        let (g, red) = disjoint_hamiltonian_cycles(r, c).unwrap();
+        let n = r * c;
+        let mut edges: HashSet<_> = HashSet::new();
+        for cy in [&g, &red] {
+            for i in 0..n {
+                edges.insert(canonical_edge(cy[i], cy[(i + 1) % n]));
+            }
+        }
+        assert_eq!(edges.len(), 2 * n, "two Hamiltonian cycles must cover all torus edges");
+    }
+
+    #[test]
+    fn single_cycle_fallback() {
+        for (r, c) in [(4, 6), (3, 4), (5, 4), (7, 10), (6, 4)] {
+            let cy = single_hamiltonian_cycle(r, c)
+                .unwrap_or_else(|| panic!("no cycle for {r}x{c}"));
+            validate_cycle(&cy, r, c).unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn green_coord_is_bijective() {
+        let (r, c) = (9, 3);
+        let set: HashSet<_> = (0..r * c).map(|x| green_coord(x, r, c)).collect();
+        assert_eq!(set.len(), r * c);
+    }
+}

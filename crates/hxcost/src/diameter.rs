@@ -1,0 +1,115 @@
+//! Network diameter in cables, §III-B.
+//!
+//! The paper counts *all* cables between source and destination endpoints,
+//! including the endpoint attachment cables, "to ensure fairness with
+//! direct topologies".
+
+/// Diameter of a `q`-endpoint full-bandwidth fat tree built from `k`-port
+/// switches: `2(⌈log_{k/2}(q/k)⌉ + 1)` (§III-B). A single switch (q ≤ k)
+/// gives 2.
+pub fn fat_tree_diameter(q: usize, k: usize) -> u32 {
+    if q <= k {
+        return 2;
+    }
+    let levels = ((q as f64 / k as f64).ln() / ((k / 2) as f64).ln()).ceil().max(1.0) as u32;
+    2 * (levels + 1)
+}
+
+/// Diameter of an HxMesh (§III-B): board walks in both dimensions plus the
+/// two global-network traversals (row lines have `2x` ports, column lines
+/// `2y`).
+pub fn hxmesh_diameter(a: usize, b: usize, x: usize, y: usize, k: usize) -> u32 {
+    let board = 2 * (((a - 1) / 2) + ((b - 1) / 2)) as u32;
+    board + fat_tree_diameter(2 * x, k) + fat_tree_diameter(2 * y, k)
+}
+
+/// Diameter of a 2D HyperX = Hx1Mesh.
+pub fn hyperx_diameter(x: usize, y: usize, k: usize) -> u32 {
+    hxmesh_diameter(1, 1, x, y, k)
+}
+
+/// Diameter of a `cols x rows` 2D torus (endpoint cables are the links
+/// themselves).
+pub fn torus_diameter(cols: usize, rows: usize) -> u32 {
+    (cols / 2 + rows / 2) as u32
+}
+
+/// Diameter of a Dragonfly with `h` global links per switch and `groups`
+/// groups: 3 cables (endpoint, global, endpoint) when every switch reaches
+/// every other group directly, else 5 (two extra local hops).
+pub fn dragonfly_diameter(h: usize, groups: usize) -> u32 {
+    if h >= groups.saturating_sub(1) {
+        3
+    } else {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxnet::{NodeId, Network};
+
+    /// Max BFS distance between endpoint pairs.
+    fn graph_diameter(net: &Network, sample: usize) -> u32 {
+        let step = (net.endpoints.len() / sample.max(1)).max(1);
+        let mut max = 0;
+        for &src in net.endpoints.iter().step_by(step) {
+            let d = net.topo.bfs_hops(src);
+            for &e in &net.endpoints {
+                let dd = d[NodeId::idx(e)];
+                assert_ne!(dd, u32::MAX, "disconnected");
+                max = max.max(dd);
+            }
+        }
+        max
+    }
+
+    #[test]
+    fn table2_small_diameters() {
+        // Table II small cluster: FT 4, Dragonfly 3, HyperX 4, Hx2 4,
+        // Hx4 8, torus 32.
+        assert_eq!(fat_tree_diameter(1024, 64), 4);
+        assert_eq!(dragonfly_diameter(8, 8), 3);
+        assert_eq!(hyperx_diameter(32, 32, 64), 4);
+        assert_eq!(hxmesh_diameter(2, 2, 16, 16, 64), 4);
+        assert_eq!(hxmesh_diameter(4, 4, 8, 8, 64), 8);
+        assert_eq!(torus_diameter(32, 32), 32);
+    }
+
+    #[test]
+    fn table2_large_diameters() {
+        // Table II large cluster: FT 6, Dragonfly 5, HyperX 8, Hx2 8,
+        // Hx4 8, torus 128.
+        assert_eq!(fat_tree_diameter(16384, 64), 6);
+        assert_eq!(dragonfly_diameter(16, 30), 5);
+        assert_eq!(hyperx_diameter(128, 128, 64), 8);
+        assert_eq!(hxmesh_diameter(2, 2, 64, 64, 64), 8);
+        assert_eq!(hxmesh_diameter(4, 4, 32, 32, 64), 8);
+        assert_eq!(torus_diameter(128, 128), 128);
+    }
+
+    #[test]
+    fn formulas_bound_constructed_graphs() {
+        // The formula is an upper bound for adaptive-minimal paths; BFS
+        // (true shortest) must not exceed it.
+        let net = hxnet::hammingmesh::HxMeshParams::square(2, 4).build();
+        assert!(graph_diameter(&net, 8) <= hxmesh_diameter(2, 2, 4, 4, 64));
+        let net = hxnet::hammingmesh::HxMeshParams::square(4, 4).build();
+        assert!(graph_diameter(&net, 8) <= hxmesh_diameter(4, 4, 4, 4, 64));
+        let net = hxnet::torus::TorusParams { cols: 8, rows: 8, board: 2 }.build();
+        assert_eq!(graph_diameter(&net, 8), torus_diameter(8, 8));
+        let net = hxnet::fattree::FatTreeParams::small_nonblocking().build();
+        assert_eq!(graph_diameter(&net, 32), 4);
+        // Dragonfly: Table II's "3" counts switch-to-switch cables; the
+        // endpoint-to-endpoint BFS adds the two endpoint cables (and a
+        // local hop when the global link lands on a neighbor switch).
+        let net = hxnet::dragonfly::DragonflyParams::small().build();
+        let d = graph_diameter(&net, 64);
+        assert!(
+            (4..=5).contains(&d),
+            "small Dragonfly endpoint diameter {d}, expected 4-5 \
+             (3 switch-switch cables + endpoint attachments)"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Network bill of materials and pricing (App. E).
+
+use hxnet::{Cable, Network};
+
+/// Component prices in USD. Defaults are the paper's (Colfaxdirect,
+/// sourced 2022-03-25, App. E).
+#[derive(Clone, Copy, Debug)]
+pub struct Prices {
+    /// 64-port switch (Edgecore AS7816-64X).
+    pub switch_usd: f64,
+    /// 20 m active optical cable (Mellanox VCSEL-based).
+    pub aoc_usd: f64,
+    /// 5 m passive copper cable (Mellanox DAC).
+    pub dac_usd: f64,
+}
+
+impl Default for Prices {
+    fn default() -> Self {
+        Self { switch_usd: 14_280.0, aoc_usd: 603.0, dac_usd: 272.0 }
+    }
+}
+
+/// Bill of materials for a full multi-plane network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Inventory {
+    pub switches: u64,
+    pub dac_cables: u64,
+    pub aoc_cables: u64,
+}
+
+impl Inventory {
+    pub const fn new(switches: u64, dac_cables: u64, aoc_cables: u64) -> Self {
+        Self { switches, dac_cables, aoc_cables }
+    }
+
+    /// Scale a per-plane inventory to `planes` planes.
+    pub const fn planes(self, planes: u64) -> Self {
+        Self {
+            switches: self.switches * planes,
+            dac_cables: self.dac_cables * planes,
+            aoc_cables: self.aoc_cables * planes,
+        }
+    }
+
+    /// Total capital expenditure in USD.
+    pub fn cost_usd(&self, p: &Prices) -> f64 {
+        self.switches as f64 * p.switch_usd
+            + self.dac_cables as f64 * p.dac_usd
+            + self.aoc_cables as f64 * p.aoc_usd
+    }
+
+    /// Cost in millions of USD (Table II's unit).
+    pub fn cost_musd(&self, p: &Prices) -> f64 {
+        self.cost_usd(p) / 1.0e6
+    }
+
+    /// Count a constructed single-plane graph and scale to `planes`.
+    /// PCB traces are free and not counted (§III-C: included in packaging).
+    pub fn from_network(net: &Network, planes: u64) -> Self {
+        Self {
+            switches: net.topo.count_switches() as u64,
+            dac_cables: net.topo.count_cables(Cable::Dac) as u64,
+            aoc_cables: net.topo.count_cables(Cable::Aoc) as u64,
+        }
+        .planes(planes)
+    }
+
+    pub fn add(self, other: Self) -> Self {
+        Self {
+            switches: self.switches + other.switches,
+            dac_cables: self.dac_cables + other.dac_cables,
+            aoc_cables: self.aoc_cables + other.aoc_cables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prices_match_appendix_e() {
+        let p = Prices::default();
+        assert_eq!(p.switch_usd, 14280.0);
+        assert_eq!(p.aoc_usd, 603.0);
+        assert_eq!(p.dac_usd, 272.0);
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let inv = Inventory::new(2, 10, 20);
+        let p = Prices::default();
+        assert_eq!(inv.cost_usd(&p), 2.0 * 14280.0 + 10.0 * 272.0 + 20.0 * 603.0);
+    }
+
+    #[test]
+    fn plane_scaling() {
+        let inv = Inventory::new(3, 5, 7).planes(4);
+        assert_eq!(inv, Inventory::new(12, 20, 28));
+    }
+
+    #[test]
+    fn from_network_counts_cables() {
+        let net = hxnet::hammingmesh::HxMeshParams::small_hx4().build();
+        let inv = Inventory::from_network(&net, 4);
+        assert_eq!(inv.dac_cables, 4 * 512);
+        assert_eq!(inv.aoc_cables, 4 * 512);
+    }
+}

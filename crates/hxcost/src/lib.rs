@@ -1,0 +1,20 @@
+//! # hxcost — capital-expenditure and diameter models (§III-B/C/D, App. C/E)
+//!
+//! The paper prices networks from three components only (§III-C): 64-port
+//! switches, 5 m DAC cables, and 20 m AoC cables, with April-2022
+//! Colfaxdirect prices. This crate reproduces the full Table II cost and
+//! diameter columns:
+//!
+//! * [`Prices`] / [`Inventory`] — the cost arithmetic,
+//! * [`table2`] — closed-form switch/cable counts for all 16
+//!   configurations of App. C (8 topologies x small/large cluster),
+//! * [`diameter`] — the §III-B diameter formulas plus BFS verification
+//!   against constructed [`hxnet`] graphs.
+
+pub mod diameter;
+pub mod inventory;
+pub mod table2;
+
+pub use diameter::{dragonfly_diameter, fat_tree_diameter, hxmesh_diameter, torus_diameter};
+pub use inventory::{Inventory, Prices};
+pub use table2::{table2_entries, ClusterSize, Table2Entry};

@@ -1,0 +1,30 @@
+//! # hxmodels — DNN training workload models (§V-B)
+//!
+//! The paper evaluates HammingMesh on five representative models:
+//! ResNet-152, CosmoFlow, GPT-3, GPT-3 with Mixture-of-Experts, and DLRM.
+//! Each is described by the paper's measured A100 compute times and its
+//! communication volumes along the three parallelism axes (§V-B1):
+//!
+//! * data dimension:     `VD = W * NP / (O * P)` reduced once per iteration,
+//! * pipeline dimension: `VP = M * W * NA / (D * P * O)` per neighbor hop,
+//! * operator dimension: `VO = W * NO` per operator invocation.
+//!
+//! Three consumers:
+//!
+//! * [`workloads`] — the model definitions with the paper's constants,
+//! * [`schedule`] — builds a one-iteration [`hxcollect::Schedule`]
+//!   (compute + comm DAG) for simulation on any topology, at full or
+//!   reduced scale,
+//! * [`analytic`] — α-β iteration-time estimates and the Fig. 15 relative
+//!   cost-savings computation (network cost ratio x communication overhead
+//!   ratio).
+
+pub mod analytic;
+pub mod schedule;
+pub mod workloads;
+
+pub use analytic::{fig15_savings, IterationEstimate, TopologyPerf};
+pub use workloads::{DnnWorkload, Parallelism};
+
+/// FP32 word size (§V-B: "trained in FP32").
+pub const WORD: u64 = 4;

@@ -1,0 +1,397 @@
+//! Fat-tree topologies (nonblocking and tapered), App. C configurations.
+//!
+//! Two- and three-level folded-Clos trees built from `radix`-port switches.
+//! Endpoints attach with DAC cables, inter-switch links are AoC (as the
+//! paper's cost layouts prescribe). Tapering removes up links at the first
+//! level (§III-D: "fat trees are tapered beginning from the second level"
+//! means the reduction shows between level 1 and level 2).
+
+use crate::graph::{Cable, Network, NodeId, PortId, Topology};
+use crate::route::{Hop, Router, UpDownTable};
+use crate::{cable_link, CABLE_LATENCY_PS, PS_PER_BYTE_400G};
+
+/// Parameters of a fat tree. Use the preset constructors for the paper's
+/// exact App. C configurations.
+#[derive(Clone, Debug)]
+pub struct FatTreeParams {
+    pub name: String,
+    pub num_endpoints: usize,
+    /// Endpoints per leaf switch.
+    pub leaf_down: usize,
+    /// Up links per leaf switch.
+    pub leaf_up: usize,
+    /// `2` or `3` levels of switches.
+    pub levels: u8,
+    /// 3-level only: leaf switches per pod.
+    pub pod_leaves: usize,
+    /// 3-level only: middle switches per pod.
+    pub pod_mid: usize,
+    /// 3-level only: up links per middle switch.
+    pub mid_up: usize,
+    /// Number of top-level (spine/root) switches.
+    pub num_spines: usize,
+}
+
+impl FatTreeParams {
+    /// Two-level nonblocking fat tree for ~1k endpoints (App. C1a):
+    /// 32 leaf switches (32 down / 32 up), 16 spines.
+    pub fn small_nonblocking() -> Self {
+        Self {
+            name: "nonblocking fat tree (1k)".into(),
+            num_endpoints: 1024,
+            leaf_down: 32,
+            leaf_up: 32,
+            levels: 2,
+            pod_leaves: 0,
+            pod_mid: 0,
+            mid_up: 0,
+            num_spines: 16,
+        }
+    }
+
+    /// Two-level 50%-tapered fat tree (App. C1b): 25 leaves with 42 down /
+    /// 22 up ports, 9 spines, 1,050 endpoints.
+    pub fn small_tapered50() -> Self {
+        Self {
+            name: "50% tapered fat tree (1k)".into(),
+            num_endpoints: 1050,
+            leaf_down: 42,
+            leaf_up: 22,
+            levels: 2,
+            pod_leaves: 0,
+            pod_mid: 0,
+            mid_up: 0,
+            num_spines: 9,
+        }
+    }
+
+    /// Two-level 75%-tapered fat tree (App. C1b): 21 leaves with 51 down /
+    /// 13 up ports, 5 spines, 1,071 endpoints.
+    pub fn small_tapered75() -> Self {
+        Self {
+            name: "75% tapered fat tree (1k)".into(),
+            num_endpoints: 1071,
+            leaf_down: 51,
+            leaf_up: 13,
+            levels: 2,
+            pod_leaves: 0,
+            pod_mid: 0,
+            mid_up: 0,
+            num_spines: 5,
+        }
+    }
+
+    /// Three-level nonblocking fat tree for 16,384 endpoints (App. C2a):
+    /// 512 leaves, 512 middle switches (pods of 16+16), 256 roots.
+    pub fn large_nonblocking() -> Self {
+        Self {
+            name: "nonblocking fat tree (16k)".into(),
+            num_endpoints: 16384,
+            leaf_down: 32,
+            leaf_up: 32,
+            levels: 3,
+            pod_leaves: 16,
+            pod_mid: 16,
+            mid_up: 32,
+            num_spines: 256,
+        }
+    }
+
+    /// A reduced-scale nonblocking tree for fast simulation: two levels,
+    /// `radix`-port switches, as many leaves as needed for `n` endpoints.
+    pub fn scaled_nonblocking(n: usize, radix: usize) -> Self {
+        let down = radix / 2;
+        let leaves = n.div_ceil(down);
+        let spines = (leaves * down).div_ceil(radix).max(1);
+        Self {
+            name: format!("nonblocking fat tree ({n})"),
+            num_endpoints: n,
+            leaf_down: down,
+            leaf_up: down,
+            levels: 2,
+            pod_leaves: 0,
+            pod_mid: 0,
+            mid_up: 0,
+            num_spines: spines,
+        }
+    }
+
+    /// A reduced-scale tapered tree: `taper` is the fraction of up links
+    /// removed (0.5 or 0.75 in the paper).
+    pub fn scaled_tapered(n: usize, radix: usize, taper: f64) -> Self {
+        assert!((0.0..1.0).contains(&taper));
+        let mut p = Self::scaled_nonblocking(n, radix);
+        p.leaf_up = ((p.leaf_up as f64) * (1.0 - taper)).round().max(1.0) as usize;
+        p.num_spines = (p.num_leaves() * p.leaf_up).div_ceil(radix).max(1);
+        p.name = format!("{}% tapered fat tree ({n})", (taper * 100.0) as u32);
+        p
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        self.num_endpoints.div_ceil(self.leaf_down)
+    }
+
+    pub fn num_pods(&self) -> usize {
+        if self.levels == 3 {
+            self.num_leaves().div_ceil(self.pod_leaves)
+        } else {
+            0
+        }
+    }
+
+    /// Construct the topology and its up/down router.
+    pub fn build(&self) -> Network {
+        let mut topo = Topology::new();
+        let mut endpoints = Vec::with_capacity(self.num_endpoints);
+        for r in 0..self.num_endpoints {
+            endpoints.push(topo.add_accelerator(r as u32));
+        }
+        let num_leaves = self.num_leaves();
+        let leaves: Vec<NodeId> = (0..num_leaves)
+            .map(|i| topo.add_switch(0, if self.levels == 3 { (i / self.pod_leaves) as u32 } else { 0 }, i as u32))
+            .collect();
+        // Endpoint attachment: DAC.
+        for (r, &e) in endpoints.iter().enumerate() {
+            let leaf = leaves[r / self.leaf_down];
+            topo.connect(e, leaf, cable_link(Cable::Dac));
+        }
+        let mut levels: Vec<Vec<NodeId>> = vec![leaves.clone()];
+
+        // Up ports start after the down ports on every switch; remember the
+        // boundary so the router can classify ports without lookups.
+        let mut up_start: Vec<(NodeId, usize)> = Vec::new();
+
+        if self.levels == 2 {
+            let spines: Vec<NodeId> =
+                (0..self.num_spines).map(|i| topo.add_switch(1, 0, i as u32)).collect();
+            for (li, &leaf) in leaves.iter().enumerate() {
+                up_start.push((leaf, topo.num_ports(leaf)));
+                for j in 0..self.leaf_up {
+                    let spine = spines[(li + j) % self.num_spines];
+                    topo.connect(leaf, spine, cable_link(Cable::Aoc));
+                }
+            }
+            for &s in &spines {
+                up_start.push((s, topo.num_ports(s)));
+            }
+            levels.push(spines);
+        } else {
+            assert_eq!(self.levels, 3, "only 2- and 3-level trees are supported");
+            let num_pods = self.num_pods();
+            let mids: Vec<NodeId> = (0..num_pods * self.pod_mid)
+                .map(|i| topo.add_switch(1, (i / self.pod_mid) as u32, i as u32))
+                .collect();
+            let spines: Vec<NodeId> =
+                (0..self.num_spines).map(|i| topo.add_switch(2, 0, i as u32)).collect();
+            // Leaf -> pod mids.
+            for (li, &leaf) in leaves.iter().enumerate() {
+                up_start.push((leaf, topo.num_ports(leaf)));
+                let pod = li / self.pod_leaves;
+                for j in 0..self.leaf_up {
+                    let mid = mids[pod * self.pod_mid + (li + j) % self.pod_mid];
+                    topo.connect(leaf, mid, cable_link(Cable::Aoc));
+                }
+            }
+            // Mid -> spines.
+            for (mi, &mid) in mids.iter().enumerate() {
+                up_start.push((mid, topo.num_ports(mid)));
+                for j in 0..self.mid_up {
+                    let spine = spines[(mi + j) % self.num_spines];
+                    topo.connect(mid, spine, cable_link(Cable::Aoc));
+                }
+            }
+            for &s in &spines {
+                up_start.push((s, topo.num_ports(s)));
+            }
+            levels.push(mids);
+            levels.push(spines);
+        }
+
+        let boundary: std::collections::HashMap<NodeId, usize> = up_start.into_iter().collect();
+        let table = UpDownTable::build(
+            &topo,
+            &levels,
+            |sw, p| p.idx() >= boundary[&sw],
+            |sw, p| {
+                let peer = topo.peer(sw, p).node;
+                topo.kind(peer).is_accelerator().then_some(peer)
+            },
+        );
+        Network {
+            router: Box::new(FatTreeRouter { table }),
+            topo,
+            endpoints,
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// Up*/down* adaptive routing on a fat tree (one VC; deadlock-free).
+pub struct FatTreeRouter {
+    table: UpDownTable,
+}
+
+impl Router for FatTreeRouter {
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        if node == target {
+            return;
+        }
+        if topo.kind(node).is_accelerator() {
+            // Endpoints inject on all their (usually one) ports.
+            for p in 0..topo.num_ports(node) {
+                out.push(Hop { port: PortId(p as u16), vc });
+            }
+            return;
+        }
+        self.table.candidates(node, target, vc, out);
+    }
+}
+
+/// A single `radix`-port crossbar switch connecting `n` endpoints — used by
+/// HammingMesh rows/columns when they fit in one switch, and handy in tests.
+pub fn single_switch(n: usize, name: &str) -> Network {
+    let mut topo = Topology::new();
+    let endpoints: Vec<NodeId> = (0..n).map(|r| topo.add_accelerator(r as u32)).collect();
+    let sw = topo.add_switch(0, 0, 0);
+    for &e in &endpoints {
+        topo.connect(e, sw, cable_link(Cable::Dac));
+    }
+    let table = UpDownTable::build(
+        &topo,
+        &[vec![sw]],
+        |_, _| false,
+        |sw_, p| {
+            let peer = topo.peer(sw_, p).node;
+            topo.kind(peer).is_accelerator().then_some(peer)
+        },
+    );
+    Network {
+        router: Box::new(FatTreeRouter { table }),
+        topo,
+        endpoints,
+        name: name.to_string(),
+    }
+}
+
+/// Sanity helper used in tests: total serialization rate through the tree's
+/// bisection, for comparing tapering factors.
+pub fn uplink_bytes_per_ps(params: &FatTreeParams) -> f64 {
+    (params.num_leaves() * params.leaf_up) as f64 / PS_PER_BYTE_400G * (CABLE_LATENCY_PS as f64 * 0.0 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::ZeroLoad;
+
+    #[test]
+    fn small_nonblocking_counts_match_appendix_c() {
+        let net = FatTreeParams::small_nonblocking().build();
+        assert_eq!(net.endpoints.len(), 1024);
+        // 32 leaves + 16 spines per plane.
+        assert_eq!(net.topo.count_switches(), 48);
+        // 1,024 DAC endpoint cables; 1,024 AoC switch-switch cables.
+        assert_eq!(net.topo.count_cables(Cable::Dac), 1024);
+        assert_eq!(net.topo.count_cables(Cable::Aoc), 1024);
+        net.topo.validate().unwrap();
+    }
+
+    #[test]
+    fn tapered_counts_match_appendix_c() {
+        let net = FatTreeParams::small_tapered50().build();
+        assert_eq!(net.topo.count_switches(), 25 + 9);
+        assert_eq!(net.topo.count_cables(Cable::Dac), 1050);
+        assert_eq!(net.topo.count_cables(Cable::Aoc), 550);
+
+        let net = FatTreeParams::small_tapered75().build();
+        assert_eq!(net.topo.count_switches(), 21 + 5);
+        assert_eq!(net.topo.count_cables(Cable::Dac), 1071);
+        assert_eq!(net.topo.count_cables(Cable::Aoc), 273);
+    }
+
+    #[test]
+    fn large_nonblocking_counts_match_appendix_c() {
+        let net = FatTreeParams::large_nonblocking().build();
+        assert_eq!(net.endpoints.len(), 16384);
+        assert_eq!(net.topo.count_switches(), 512 + 512 + 256);
+        assert_eq!(net.topo.count_cables(Cable::Dac), 16384);
+        assert_eq!(net.topo.count_cables(Cable::Aoc), 2 * 16384);
+    }
+
+    /// Walk greedy (first candidate) routes between random pairs and check
+    /// they arrive within the tree diameter.
+    fn check_reachability(net: &Network, pairs: &[(usize, usize)], max_hops: u32) {
+        for &(s, d) in pairs {
+            let (src, dst) = (net.endpoints[s], net.endpoints[d]);
+            let mut node = src;
+            let mut hops = 0;
+            while node != dst {
+                let mut cand = Vec::new();
+                net.router.candidates(&net.topo, node, 0, dst, &mut cand);
+                assert!(!cand.is_empty(), "stuck at {node:?} toward {dst:?}");
+                node = net.topo.peer(node, cand[0].port).node;
+                hops += 1;
+                assert!(hops <= max_hops, "route too long {src:?}->{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_destination() {
+        let net = FatTreeParams::small_nonblocking().build();
+        let pairs = [(0, 1), (0, 33), (5, 1000), (1023, 0), (512, 513)];
+        check_reachability(&net, &pairs, 4);
+    }
+
+    #[test]
+    fn three_level_routing_reaches_destination() {
+        let mut p = FatTreeParams::large_nonblocking();
+        // shrink: 4 pods of 4+4, 256 endpoints, 8 roots
+        p.num_endpoints = 16 * 16;
+        p.leaf_down = 16;
+        p.leaf_up = 4;
+        p.pod_leaves = 4;
+        p.pod_mid = 4;
+        p.mid_up = 4;
+        p.num_spines = 8;
+        let net = p.build();
+        let pairs = [(0, 255), (0, 15), (16, 17), (100, 200)];
+        check_reachability(&net, &pairs, 6);
+    }
+
+    #[test]
+    fn single_switch_routes_in_two_hops() {
+        let net = single_switch(8, "sw");
+        check_reachability(&net, &[(0, 7), (3, 4)], 2);
+    }
+
+    #[test]
+    fn no_waypoints_for_fat_tree() {
+        let net = FatTreeParams::small_nonblocking().build();
+        let mut rng = rand::rng();
+        assert!(net
+            .router
+            .select_waypoint(&net.topo, net.endpoints[0], net.endpoints[9], &ZeroLoad, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn scaled_constructors_produce_sane_trees() {
+        let net = FatTreeParams::scaled_nonblocking(256, 64).build();
+        assert_eq!(net.endpoints.len(), 256);
+        let net = FatTreeParams::scaled_tapered(256, 64, 0.5).build();
+        assert_eq!(net.endpoints.len(), 256);
+        net.topo.validate().unwrap();
+    }
+}

@@ -1,0 +1,346 @@
+//! Port-level network multigraph.
+//!
+//! A [`Topology`] is an explicit list of nodes; each node owns an ordered
+//! list of ports, and each port is wired to exactly one peer port through a
+//! full-duplex [`Link`]. Accelerators and switches are both nodes; in
+//! HammingMesh accelerators forward packets themselves (the per-plane 4x4
+//! switch of Fig. 3), so the simulator treats the two kinds uniformly and
+//! only the routing algorithms care about the distinction.
+
+use std::fmt;
+
+/// Identifier of a node (accelerator or switch) inside one [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a port, local to its owning node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl NodeId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One endpoint of a link: a specific port on a specific node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortRef {
+    pub node: NodeId,
+    pub port: PortId,
+}
+
+/// Physical cable technology of a link. Drives the cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cable {
+    /// Short metal trace on a PCB board — free in the cost model (§III-C).
+    Pcb,
+    /// 5 m Direct Attach Copper cable ($272 in App. E).
+    Dac,
+    /// 20 m Active optical Cable ($603 in App. E).
+    Aoc,
+}
+
+/// Physical parameters of a link, set by the topology builders.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Propagation latency in picoseconds.
+    pub latency_ps: u64,
+    /// Serialization rate: picoseconds per byte (20 ps/B at 400 Gb/s).
+    pub ps_per_byte: f64,
+    pub cable: Cable,
+}
+
+/// A directed half of a full-duplex link, stored from the sender's side.
+#[derive(Clone, Copy, Debug)]
+pub struct Link {
+    pub peer: PortRef,
+    pub spec: LinkSpec,
+}
+
+/// Role of a node in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An accelerator with an attached NIC. `rank` is the global rank of
+    /// this accelerator (index into [`Network::endpoints`]).
+    Accelerator { rank: u32 },
+    /// A packet switch. `level` distinguishes tree levels (0 = leaf level),
+    /// `group`/`pos` are generic coordinates the builders use for labeling.
+    Switch { level: u8, group: u32, pos: u32 },
+}
+
+impl NodeKind {
+    #[inline]
+    pub fn is_accelerator(self) -> bool {
+        matches!(self, NodeKind::Accelerator { .. })
+    }
+
+    #[inline]
+    pub fn is_switch(self) -> bool {
+        matches!(self, NodeKind::Switch { .. })
+    }
+}
+
+/// A node together with its ports. Ports are created by [`Topology::connect`]
+/// in call order, so builders control port numbering.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub ports: Vec<Link>,
+}
+
+/// The port-level multigraph.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self { nodes: Vec::with_capacity(nodes) }
+    }
+
+    /// Add a node with no ports yet; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, ports: Vec::new() });
+        id
+    }
+
+    pub fn add_accelerator(&mut self, rank: u32) -> NodeId {
+        self.add_node(NodeKind::Accelerator { rank })
+    }
+
+    pub fn add_switch(&mut self, level: u8, group: u32, pos: u32) -> NodeId {
+        self.add_node(NodeKind::Switch { level, group, pos })
+    }
+
+    /// Connect two nodes with a new full-duplex link; allocates one new port
+    /// on each side and returns them as `(port_on_a, port_on_b)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        let pa = PortId(self.nodes[a.idx()].ports.len() as u16);
+        let pb = PortId(self.nodes[b.idx()].ports.len() as u16);
+        self.nodes[a.idx()].ports.push(Link { peer: PortRef { node: b, port: pb }, spec });
+        self.nodes[b.idx()].ports.push(Link { peer: PortRef { node: a, port: pa }, spec });
+        (pa, pb)
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.idx()].kind
+    }
+
+    #[inline]
+    pub fn link(&self, node: NodeId, port: PortId) -> &Link {
+        &self.nodes[node.idx()].ports[port.idx()]
+    }
+
+    #[inline]
+    pub fn peer(&self, node: NodeId, port: PortId) -> PortRef {
+        self.nodes[node.idx()].ports[port.idx()].peer
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn num_ports(&self, node: NodeId) -> usize {
+        self.nodes[node.idx()].ports.len()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Total number of full-duplex links (each counted once).
+    pub fn num_links(&self) -> usize {
+        self.nodes.iter().map(|n| n.ports.len()).sum::<usize>() / 2
+    }
+
+    /// Count links of a given cable kind (each full-duplex link once).
+    pub fn count_cables(&self, cable: Cable) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.ports.iter())
+            .filter(|l| l.spec.cable == cable)
+            .count()
+            / 2
+    }
+
+    /// Count switch nodes.
+    pub fn count_switches(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_switch()).count()
+    }
+
+    /// Unweighted BFS hop distance (in links) from `src` to every node.
+    /// Used by diameter verification and routing-table construction.
+    pub fn bfs_hops(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.idx()] = 0;
+        queue.push_back(src);
+        while let Some(n) = queue.pop_front() {
+            let d = dist[n.idx()];
+            for link in &self.nodes[n.idx()].ports {
+                let p = link.peer.node;
+                if dist[p.idx()] == u32::MAX {
+                    dist[p.idx()] = d + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Consistency check: every link's peer relation is symmetric.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            for (pidx, link) in node.ports.iter().enumerate() {
+                let peer = link.peer;
+                let back = self
+                    .nodes
+                    .get(peer.node.idx())
+                    .and_then(|n| n.ports.get(peer.port.idx()))
+                    .ok_or_else(|| format!("n{id}:p{pidx} points to missing {peer:?}"))?;
+                if back.peer.node.idx() != id || back.peer.port.idx() != pidx {
+                    return Err(format!(
+                        "asymmetric link n{id}:p{pidx} <-> {:?} (peer back-ref {:?})",
+                        peer, back.peer
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A built network: the graph, the rank-ordered endpoints, and the routing
+/// algorithm appropriate for the topology.
+pub struct Network {
+    pub topo: Topology,
+    /// Accelerator nodes in rank order: `endpoints[r]` is the node of rank r.
+    pub endpoints: Vec<NodeId>,
+    pub router: Box<dyn crate::route::Router>,
+    /// Human-readable name, e.g. `"16x16 Hx2Mesh"`.
+    pub name: String,
+}
+
+impl Network {
+    /// Rank of an accelerator node (panics if `node` is a switch).
+    pub fn rank_of(&self, node: NodeId) -> u32 {
+        match self.topo.kind(node) {
+            NodeKind::Accelerator { rank } => rank,
+            k => panic!("rank_of called on {k:?}"),
+        }
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Injection bandwidth of one endpoint in bytes/ps (sum over its ports).
+    pub fn injection_bytes_per_ps(&self, rank: usize) -> f64 {
+        let node = self.endpoints[rank];
+        self.topo.node(node).ports.iter().map(|l| 1.0 / l.spec.ps_per_byte).sum()
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.name)
+            .field("nodes", &self.topo.num_nodes())
+            .field("endpoints", &self.endpoints.len())
+            .field("links", &self.topo.num_links())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec { latency_ps: 1000, ps_per_byte: 20.0, cable: Cable::Dac }
+    }
+
+    #[test]
+    fn connect_is_symmetric() {
+        let mut t = Topology::new();
+        let a = t.add_accelerator(0);
+        let b = t.add_switch(0, 0, 0);
+        let (pa, pb) = t.connect(a, b, spec());
+        assert_eq!(t.peer(a, pa), PortRef { node: b, port: pb });
+        assert_eq!(t.peer(b, pb), PortRef { node: a, port: pa });
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_links_get_distinct_ports() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        let (p1, _) = t.connect(a, b, spec());
+        let (p2, _) = t.connect(a, b, spec());
+        assert_ne!(p1, p2);
+        assert_eq!(t.num_links(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_switch(0, 0, i)).collect();
+        for w in n.windows(2) {
+            t.connect(w[0], w[1], spec());
+        }
+        let d = t.bfs_hops(n[0]);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cable_counting() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        let c = t.add_switch(0, 0, 2);
+        t.connect(a, b, LinkSpec { cable: Cable::Aoc, ..spec() });
+        t.connect(b, c, spec());
+        assert_eq!(t.count_cables(Cable::Aoc), 1);
+        assert_eq!(t.count_cables(Cable::Dac), 1);
+        assert_eq!(t.count_cables(Cable::Pcb), 0);
+        assert_eq!(t.count_switches(), 3);
+    }
+}

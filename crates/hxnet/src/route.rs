@@ -1,0 +1,320 @@
+//! Routing abstractions shared by all topologies.
+//!
+//! The simulator is routing-agnostic: at every hop it asks the topology's
+//! [`Router`] for the set of minimal `(output port, next VC)` candidates and
+//! picks the least-loaded one (packet-level adaptive routing, as in
+//! Slingshot/InfiniBand — §IV-C). Source-side decisions that need global
+//! state (Valiant bounce groups for Dragonfly, the intermediate board for
+//! HammingMesh) are expressed as a *waypoint* stored in the packet header.
+
+use crate::graph::{NodeId, PortId, Topology};
+use std::collections::HashMap;
+
+/// Congestion oracle the simulator exposes to routers for source-side
+/// decisions (e.g. UGAL's local-queue comparison).
+pub trait LoadProbe {
+    /// Bytes currently queued at `node` for output `port` (all VCs).
+    fn queued_bytes(&self, node: NodeId, port: PortId) -> u64;
+}
+
+/// A no-congestion probe: every queue reports empty. Used by tests and by
+/// analytic consumers that only need path enumeration.
+pub struct ZeroLoad;
+
+impl LoadProbe for ZeroLoad {
+    fn queued_bytes(&self, _node: NodeId, _port: PortId) -> u64 {
+        0
+    }
+}
+
+/// A candidate next hop: take `port`, continue on virtual channel `vc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    pub port: PortId,
+    pub vc: u8,
+}
+
+/// Topology-specific deadlock-free adaptive routing.
+pub trait Router: Send + Sync {
+    /// Number of virtual channels this routing scheme requires.
+    fn num_vcs(&self) -> u8;
+
+    /// Append all minimal next-hop candidates for a packet currently at
+    /// `node` on VC `vc`, heading for `target`, into `out`.
+    ///
+    /// `target` is the packet's waypoint while one is active, the final
+    /// destination afterwards. Implementations must guarantee progress: the
+    /// candidate set is non-empty whenever `node != target`, and following
+    /// any sequence of candidates reaches `target` in finitely many hops.
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    );
+
+    /// Source-side path selection, called once at injection. Returning
+    /// `Some(w)` routes the packet to waypoint `w` first (per
+    /// [`Router::waypoint_reached`]), then to the destination.
+    fn select_waypoint(
+        &self,
+        _topo: &Topology,
+        _src: NodeId,
+        _dst: NodeId,
+        _probe: &dyn LoadProbe,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        None
+    }
+
+    /// Whether the waypoint phase is complete for a packet at `node`.
+    /// Default: exact node match. Dragonfly overrides this with "same
+    /// group"; HammingMesh with "same board".
+    fn waypoint_reached(&self, _topo: &Topology, node: NodeId, waypoint: NodeId) -> bool {
+        node == waypoint
+    }
+}
+
+/// Up*/down* routing tables for tree-structured (sub)networks.
+///
+/// Built by the fat-tree and HammingMesh constructors, which know which
+/// ports point "up". Routing is the classic scheme: while the target is not
+/// in this switch's down-table, go up (any up port, adaptively); once it
+/// is, follow the recorded down ports. One VC suffices (up/down is
+/// deadlock-free), so the table never changes VCs.
+#[derive(Clone, Debug, Default)]
+pub struct UpDownTable {
+    /// Per switch node: ports that point towards the roots.
+    up: HashMap<NodeId, Vec<PortId>>,
+    /// Per switch node: target accelerator -> down ports reaching it
+    /// minimally inside the tree.
+    down: HashMap<NodeId, HashMap<NodeId, Vec<PortId>>>,
+}
+
+impl UpDownTable {
+    /// Build from an explicit description of the tree:
+    /// `levels[0]` are the leaf switches, `levels.last()` the roots, and
+    /// `leaf_targets(leaf, port)` names the accelerator(s) served by a leaf
+    /// down port (`None` for up ports or ports outside the tree).
+    ///
+    /// `is_up(node, port)` must classify every port of every listed switch.
+    pub fn build(
+        topo: &Topology,
+        levels: &[Vec<NodeId>],
+        is_up: impl Fn(NodeId, PortId) -> bool,
+        leaf_target: impl Fn(NodeId, PortId) -> Option<NodeId>,
+    ) -> Self {
+        let mut table = UpDownTable::default();
+        // Classify ports and seed leaf down entries.
+        for (lvl, switches) in levels.iter().enumerate() {
+            for &sw in switches {
+                let nports = topo.num_ports(sw);
+                let mut ups = Vec::new();
+                let mut downs: HashMap<NodeId, Vec<PortId>> = HashMap::new();
+                for p in 0..nports {
+                    let port = PortId(p as u16);
+                    if is_up(sw, port) {
+                        ups.push(port);
+                    } else if lvl == 0 {
+                        if let Some(t) = leaf_target(sw, port) {
+                            downs.entry(t).or_default().push(port);
+                        }
+                    }
+                }
+                table.up.insert(sw, ups);
+                table.down.insert(sw, downs);
+            }
+        }
+        // Propagate down-reachability upwards, level by level.
+        for lvl in 1..levels.len() {
+            for &sw in &levels[lvl] {
+                let nports = topo.num_ports(sw);
+                let mut mine: HashMap<NodeId, Vec<PortId>> = HashMap::new();
+                for p in 0..nports {
+                    let port = PortId(p as u16);
+                    if is_up(sw, port) {
+                        continue;
+                    }
+                    let peer = topo.peer(sw, port).node;
+                    if let Some(child_tab) = table.down.get(&peer) {
+                        for target in child_tab.keys() {
+                            mine.entry(*target).or_default().push(port);
+                        }
+                    }
+                }
+                table.down.insert(sw, mine);
+            }
+        }
+        table
+    }
+
+    /// Is this node part of the tree this table describes?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.up.contains_key(&node)
+    }
+
+    /// Whether `target` is reachable going down from `node`.
+    pub fn reaches_down(&self, node: NodeId, target: NodeId) -> bool {
+        self.down.get(&node).is_some_and(|m| m.contains_key(&target))
+    }
+
+    /// Appends up/down candidates at `node` for `target` on the given VC.
+    /// Returns `true` if any candidate was produced.
+    pub fn candidates(&self, node: NodeId, target: NodeId, vc: u8, out: &mut Vec<Hop>) -> bool {
+        if let Some(m) = self.down.get(&node) {
+            if let Some(ports) = m.get(&target) {
+                out.extend(ports.iter().map(|&port| Hop { port, vc }));
+                return !ports.is_empty();
+            }
+        }
+        if let Some(ups) = self.up.get(&node) {
+            out.extend(ups.iter().map(|&port| Hop { port, vc }));
+            return !ups.is_empty();
+        }
+        false
+    }
+
+    /// All down ports at `node` toward `target` (empty slice if none).
+    pub fn down_ports(&self, node: NodeId, target: NodeId) -> &[PortId] {
+        self.down
+            .get(&node)
+            .and_then(|m| m.get(&target))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn up_ports(&self, node: NodeId) -> &[PortId] {
+        self.up.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Shortest-path table router: BFS all-pairs over the raw graph, candidates
+/// are every port that lies on some shortest path. No VC management (always
+/// VC 0) — **not** deadlock-free in general; used as a reference router in
+/// tests and for diameter measurements, not in the evaluation runs.
+pub struct ShortestPathRouter {
+    /// dist[node][target_endpoint_index]
+    dist: Vec<Vec<u32>>,
+    /// endpoint node -> dense index
+    endpoint_index: HashMap<NodeId, usize>,
+}
+
+impl ShortestPathRouter {
+    pub fn build(topo: &Topology, endpoints: &[NodeId]) -> Self {
+        let endpoint_index: HashMap<NodeId, usize> =
+            endpoints.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        // dist[target][node], computed by BFS from each endpoint.
+        let mut per_target = vec![Vec::new(); endpoints.len()];
+        for (i, &e) in endpoints.iter().enumerate() {
+            per_target[i] = topo.bfs_hops(e);
+        }
+        // Transpose into dist[node][target].
+        let n = topo.num_nodes();
+        let mut dist = vec![vec![u32::MAX; endpoints.len()]; n];
+        for (t, d) in per_target.iter().enumerate() {
+            for (node, &dd) in d.iter().enumerate() {
+                dist[node][t] = dd;
+            }
+        }
+        Self { dist, endpoint_index }
+    }
+
+    pub fn distance(&self, node: NodeId, target: NodeId) -> u32 {
+        self.dist[node.idx()][self.endpoint_index[&target]]
+    }
+}
+
+impl Router for ShortestPathRouter {
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        let ti = self.endpoint_index[&target];
+        let d = self.dist[node.idx()][ti];
+        if d == 0 {
+            return;
+        }
+        for (p, link) in topo.node(node).ports.iter().enumerate() {
+            if self.dist[link.peer.node.idx()][ti] + 1 == d {
+                out.push(Hop { port: PortId(p as u16), vc });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Cable, LinkSpec};
+
+    fn spec() -> LinkSpec {
+        LinkSpec { latency_ps: 1000, ps_per_byte: 20.0, cable: Cable::Dac }
+    }
+
+    /// Two endpoints under two leaves under one root.
+    fn tiny_tree() -> (Topology, Vec<NodeId>, Vec<Vec<NodeId>>) {
+        let mut t = Topology::new();
+        let e0 = t.add_accelerator(0);
+        let e1 = t.add_accelerator(1);
+        let l0 = t.add_switch(0, 0, 0);
+        let l1 = t.add_switch(0, 0, 1);
+        let r = t.add_switch(1, 0, 0);
+        t.connect(e0, l0, spec()); // l0 port 0 = down
+        t.connect(e1, l1, spec()); // l1 port 0 = down
+        t.connect(l0, r, spec()); // l0 port 1 = up, r port 0 = down
+        t.connect(l1, r, spec()); // l1 port 1 = up, r port 1 = down
+        (t, vec![e0, e1], vec![vec![l0, l1], vec![r]])
+    }
+
+    #[test]
+    fn updown_routes_through_root() {
+        let (t, eps, levels) = tiny_tree();
+        let table = UpDownTable::build(
+            &t,
+            &levels,
+            |sw, p| {
+                // Leaf switches: port 1 is up; root has no up ports.
+                t.kind(sw) == crate::graph::NodeKind::Switch { level: 0, group: 0, pos: 0 }
+                    && p == PortId(1)
+                    || matches!(t.kind(sw), crate::graph::NodeKind::Switch { level: 0, pos: 1, .. })
+                        && p == PortId(1)
+            },
+            |sw, p| {
+                let peer = t.peer(sw, p).node;
+                t.kind(peer).is_accelerator().then_some(peer)
+            },
+        );
+        // At leaf l0, target e1: must go up.
+        let mut out = Vec::new();
+        assert!(table.candidates(levels[0][0], eps[1], 0, &mut out));
+        assert_eq!(out, vec![Hop { port: PortId(1), vc: 0 }]);
+        // At root, target e1: down port 1.
+        out.clear();
+        assert!(table.candidates(levels[1][0], eps[1], 0, &mut out));
+        assert_eq!(out, vec![Hop { port: PortId(1), vc: 0 }]);
+        // At leaf l1, target e1: down port 0.
+        out.clear();
+        assert!(table.candidates(levels[0][1], eps[1], 0, &mut out));
+        assert_eq!(out, vec![Hop { port: PortId(0), vc: 0 }]);
+    }
+
+    #[test]
+    fn shortest_path_router_is_minimal() {
+        let (t, eps, _) = tiny_tree();
+        let r = ShortestPathRouter::build(&t, &eps);
+        assert_eq!(r.distance(eps[0], eps[1]), 4); // e0-l0-r-l1-e1
+        let mut out = Vec::new();
+        r.candidates(&t, eps[0], 0, eps[1], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,700 @@
+//! The discrete-event simulation engine.
+
+use crate::stats::SimStats;
+use crate::Time;
+use hxnet::route::LoadProbe;
+use hxnet::{Network, NodeId, PortId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine configuration. Defaults follow App. F of the paper.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Maximum packet payload per network packet (8 KiB).
+    pub packet_bytes: u64,
+    /// Input-buffer capacity per (port, VC) in bytes.
+    pub buffer_bytes: u64,
+    /// Fixed per-hop pipeline latency added to every packet reception
+    /// (input+output buffer latency, 40 ns).
+    pub hop_latency_ps: u64,
+    /// Virtual cut-through: a transit packet becomes routable downstream
+    /// after one flit (App. F: 256 B) plus wire latency, instead of after
+    /// full store-and-forward reception. Links still carry every byte, so
+    /// bandwidth accounting is exact; only per-hop pipelining changes.
+    pub cut_through: bool,
+    /// Flit size for the cut-through forwarding latency (256 B, App. F).
+    pub flit_bytes: u64,
+    /// Injection throttle: a NIC keeps at most this many bytes queued in
+    /// its node's output queues before pacing further packets.
+    pub nic_window_bytes: u64,
+    /// Per-output-port injection cap: packets whose preferred port already
+    /// holds this many NIC bytes are deferred so concurrent flows (e.g.
+    /// the four HxMesh ring directions) share the NIC fairly.
+    pub nic_port_window_bytes: u64,
+    /// Enable source-side waypoint selection (Valiant / column-first).
+    pub use_waypoints: bool,
+    /// RNG seed for adaptive tie-breaking.
+    pub seed: u64,
+    /// Hard stop; the run reports a failure if exceeded.
+    pub max_time_ps: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            packet_bytes: crate::DEFAULT_PACKET_BYTES,
+            buffer_bytes: crate::DEFAULT_BUFFER_BYTES,
+            hop_latency_ps: 40_000,
+            cut_through: true,
+            flit_bytes: 256,
+            nic_window_bytes: 32 * crate::DEFAULT_PACKET_BYTES,
+            nic_port_window_bytes: 4 * crate::DEFAULT_PACKET_BYTES,
+            use_waypoints: true,
+            seed: 0x5eed,
+            max_time_ps: Time::MAX,
+        }
+    }
+}
+
+/// Description of a delivered message, passed to application callbacks.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgInfo {
+    pub src_rank: u32,
+    pub dst_rank: u32,
+    pub bytes: u64,
+    pub tag: u64,
+}
+
+/// Commands an application can issue from its callbacks.
+#[derive(Clone, Copy, Debug)]
+pub enum Cmd {
+    /// Send `bytes` from rank `src` to rank `dst`, labelled `tag`.
+    Send { src: u32, dst: u32, bytes: u64, tag: u64 },
+    /// Simulate `ps` of local computation on `rank`, then call
+    /// [`Application::on_compute_done`] with `tag`.
+    Compute { rank: u32, ps: Time, tag: u64 },
+}
+
+/// Context handed to application callbacks. Commands are buffered and
+/// executed by the engine after the callback returns.
+pub struct Ctx<'a> {
+    now: Time,
+    cmds: &'a mut Vec<Cmd>,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    #[inline]
+    pub fn send(&mut self, src: u32, dst: u32, bytes: u64, tag: u64) {
+        assert!(bytes > 0, "zero-byte sends are not modelled");
+        self.cmds.push(Cmd::Send { src, dst, bytes, tag });
+    }
+
+    #[inline]
+    pub fn compute(&mut self, rank: u32, ps: Time, tag: u64) {
+        self.cmds.push(Cmd::Compute { rank, ps, tag });
+    }
+}
+
+/// Traffic generator interface. All callbacks run at simulated time
+/// `ctx.now()`.
+pub trait Application {
+    /// Called once at time 0 to kick off traffic.
+    fn start(&mut self, ctx: &mut Ctx);
+
+    /// A message has been fully delivered to `info.dst_rank`.
+    fn on_message(&mut self, ctx: &mut Ctx, info: MsgInfo);
+
+    /// All packets of the message have left the source NIC (the local send
+    /// buffer may be reused — MPI-style local completion).
+    fn on_send_complete(&mut self, _ctx: &mut Ctx, _info: MsgInfo) {}
+
+    /// A [`Cmd::Compute`] issued by this application finished.
+    fn on_compute_done(&mut self, _ctx: &mut Ctx, _rank: u32, _tag: u64) {}
+}
+
+type PacketId = u32;
+type MsgId = u32;
+
+struct PacketState {
+    msg: MsgId,
+    bytes: u32,
+    vc: u8,
+    /// Final destination node.
+    dst_node: NodeId,
+    /// Active waypoint (cleared once reached).
+    waypoint: Option<NodeId>,
+    /// The input buffer this packet currently occupies, if any.
+    held: Option<(NodeId, PortId, u8)>,
+}
+
+struct MsgState {
+    info: MsgInfo,
+    num_packets: u32,
+    delivered_packets: u32,
+    injected_packets: u32,
+    delivered_bytes: u64,
+}
+
+struct OutPort {
+    /// One FIFO per virtual channel: a blocked VC must never head-of-line
+    /// block packets of other VCs, or the escape-VC deadlock guarantees
+    /// collapse (VC isolation).
+    queues: Vec<VecDeque<PacketId>>,
+    queued_bytes: u64,
+    busy_until: Time,
+    /// Bitmask of VCs registered as waiters on their downstream buffer.
+    stalled_mask: u8,
+    /// Round-robin pointer over VCs for fair link arbitration.
+    rr: u8,
+    /// Total busy picoseconds (for utilization stats).
+    busy_ps: u64,
+}
+
+struct NodeState {
+    out: Vec<OutPort>,
+    /// Input-buffer occupancy per (port * num_vcs + vc).
+    in_occ: Vec<u64>,
+    /// Upstream (node, port) pairs waiting for space per (port, vc).
+    waiters: Vec<Vec<(NodeId, PortId)>>,
+    /// NIC injection queue (accelerators only).
+    nic_pending: VecDeque<PacketId>,
+    out_bytes_total: u64,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+enum Event {
+    /// A packet finished arriving at (node, port).
+    Arrive(NodeId, PortId, PacketId),
+    /// Serialization done on (node, port): release the packet's previous
+    /// buffer and try to transmit the next queued packet. All data is
+    /// carried in the event because, with cut-through, the packet may have
+    /// been delivered (and its slot recycled) before serialization ends.
+    PortFree {
+        node: NodeId,
+        port: PortId,
+        msg: MsgId,
+        bytes: u32,
+        release: Option<(NodeId, PortId, u8)>,
+    },
+    /// Application compute finished.
+    Compute(u32, u64),
+}
+
+/// The packet-level simulation engine, borrowed over a [`Network`].
+pub struct Engine<'n> {
+    net: &'n Network,
+    cfg: SimConfig,
+    num_vcs: usize,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(Time, u64, Event)>>,
+    nodes: Vec<NodeState>,
+    packets: Vec<PacketState>,
+    free_packets: Vec<PacketId>,
+    msgs: Vec<MsgState>,
+    rng: StdRng,
+    stats: SimStats,
+    /// Scratch buffer for routing candidates.
+    cand: Vec<hxnet::route::Hop>,
+}
+
+impl<'n> Engine<'n> {
+    pub fn new(net: &'n Network, cfg: SimConfig) -> Self {
+        let num_vcs = net.router.num_vcs().max(1) as usize;
+        let nodes = net
+            .topo
+            .nodes()
+            .map(|(_, n)| {
+                let p = n.ports.len();
+                NodeState {
+                    out: (0..p)
+                        .map(|_| OutPort {
+                            queues: (0..num_vcs).map(|_| VecDeque::new()).collect(),
+                            queued_bytes: 0,
+                            busy_until: 0,
+                            stalled_mask: 0,
+                            rr: 0,
+                            busy_ps: 0,
+                        })
+                        .collect(),
+                    in_occ: vec![0; p * num_vcs],
+                    waiters: vec![Vec::new(); p * num_vcs],
+                    nic_pending: VecDeque::new(),
+                    out_bytes_total: 0,
+                }
+            })
+            .collect();
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            net,
+            num_vcs,
+            cfg,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes,
+            packets: Vec::new(),
+            free_packets: Vec::new(),
+            msgs: Vec::new(),
+            stats: SimStats {
+                node_forwarded: vec![0; net.topo.num_nodes()],
+                ..SimStats::default()
+            },
+            cand: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push_event(&mut self, t: Time, e: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse((t, self.seq, e)));
+    }
+
+    /// Run the application to completion. Returns the collected statistics.
+    pub fn run(mut self, app: &mut dyn Application) -> SimStats {
+        let mut cmds = Vec::new();
+        {
+            let mut ctx = Ctx { now: 0, cmds: &mut cmds };
+            app.start(&mut ctx);
+        }
+        self.apply_cmds(&mut cmds, app);
+
+        while let Some(Reverse((t, _, ev))) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            if t > self.cfg.max_time_ps {
+                self.stats.timed_out = true;
+                break;
+            }
+            self.stats.events += 1;
+            match ev {
+                Event::Arrive(node, port, pkt) => self.on_arrive(node, port, pkt, app),
+                Event::PortFree { node, port, msg, bytes, release } => {
+                    self.on_port_free(node, port, msg, bytes, release, app)
+                }
+                Event::Compute(rank, tag) => {
+                    let mut cmds = Vec::new();
+                    {
+                        let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                        app.on_compute_done(&mut ctx, rank, tag);
+                    }
+                    self.apply_cmds(&mut cmds, app);
+                }
+            }
+        }
+
+        self.stats.finish_ps = self.now;
+        let undelivered = self
+            .msgs
+            .iter()
+            .filter(|m| m.delivered_packets < m.num_packets)
+            .count();
+        self.stats.undelivered_messages = undelivered;
+        if undelivered > 0 && std::env::var("HXSIM_DEBUG").is_ok() {
+            for line in self.dump_stuck() {
+                eprintln!("[hxsim stuck] {line}");
+            }
+        }
+        for n in &self.nodes {
+            for p in &n.out {
+                self.stats.total_link_busy_ps += p.busy_ps;
+            }
+        }
+        self.stats
+    }
+
+    fn apply_cmds(&mut self, cmds: &mut Vec<Cmd>, app: &mut dyn Application) {
+        // Commands may recursively produce more commands (e.g. a send whose
+        // completion callback fires instantly is impossible — sends take
+        // time — but computes with 0 ps are executed inline).
+        while let Some(cmd) = cmds.pop() {
+            match cmd {
+                Cmd::Send { src, dst, bytes, tag } => self.start_send(src, dst, bytes, tag),
+                Cmd::Compute { rank, ps, tag } => {
+                    self.push_event(self.now + ps, Event::Compute(rank, tag));
+                }
+            }
+        }
+        let _ = app;
+    }
+
+    fn start_send(&mut self, src: u32, dst: u32, bytes: u64, tag: u64) {
+        assert_ne!(src, dst, "self-sends are not modelled");
+        let src_node = self.net.endpoints[src as usize];
+        let dst_node = self.net.endpoints[dst as usize];
+        let msg_id = self.msgs.len() as MsgId;
+        let num_packets = bytes.div_ceil(self.cfg.packet_bytes) as u32;
+        self.msgs.push(MsgState {
+            info: MsgInfo { src_rank: src, dst_rank: dst, bytes, tag },
+            num_packets,
+            delivered_packets: 0,
+            injected_packets: 0,
+            delivered_bytes: 0,
+        });
+        self.stats.messages_sent += 1;
+        let mut remaining = bytes;
+        for _ in 0..num_packets {
+            let sz = remaining.min(self.cfg.packet_bytes) as u32;
+            remaining -= sz as u64;
+            let waypoint = if self.cfg.use_waypoints {
+                let probe = EngineProbe { nodes: &self.nodes };
+                self.net.router.select_waypoint(
+                    &self.net.topo,
+                    src_node,
+                    dst_node,
+                    &probe,
+                    &mut self.rng,
+                )
+            } else {
+                None
+            };
+            let pkt = self.alloc_packet(PacketState {
+                msg: msg_id,
+                bytes: sz,
+                vc: 0,
+                dst_node,
+                waypoint,
+                held: None,
+            });
+            self.nodes[src_node.idx()].nic_pending.push_back(pkt);
+        }
+        self.pump_nic(src_node, None);
+    }
+
+    fn alloc_packet(&mut self, st: PacketState) -> PacketId {
+        if let Some(id) = self.free_packets.pop() {
+            self.packets[id as usize] = st;
+            id
+        } else {
+            self.packets.push(st);
+            (self.packets.len() - 1) as PacketId
+        }
+    }
+
+    /// Move packets from the NIC injection queue into output queues while
+    /// the injection window has room. A packet whose preferred output port
+    /// is already full (per-port window) is deferred — rotated to the back
+    /// of the queue — so that concurrent flows on different ports are not
+    /// head-of-line blocked behind each other at the NIC.
+    fn pump_nic(&mut self, node: NodeId, app: Option<&mut dyn Application>) {
+        let _ = app;
+        let mut attempts = self.nodes[node.idx()].nic_pending.len();
+        while attempts > 0 {
+            attempts -= 1;
+            let ns = &self.nodes[node.idx()];
+            if ns.nic_pending.is_empty() || ns.out_bytes_total >= self.cfg.nic_window_bytes {
+                return;
+            }
+            let pkt = self.nodes[node.idx()].nic_pending.pop_front().unwrap();
+            if !self.route_and_enqueue_nic(node, pkt) {
+                self.nodes[node.idx()].nic_pending.push_back(pkt);
+            }
+        }
+    }
+
+    /// NIC-side routing: like [`Engine::route_and_enqueue`] but refuses
+    /// (returns false) when every candidate port is over the per-port
+    /// injection window.
+    fn route_and_enqueue_nic(&mut self, node: NodeId, pkt: PacketId) -> bool {
+        let min_q = {
+            let (target, vc) = {
+                let p = &mut self.packets[pkt as usize];
+                if let Some(w) = p.waypoint {
+                    if self.net.router.waypoint_reached(&self.net.topo, node, w) {
+                        p.waypoint = None;
+                    }
+                }
+                (p.waypoint.unwrap_or(p.dst_node), p.vc)
+            };
+            let mut cand = std::mem::take(&mut self.cand);
+            cand.clear();
+            self.net.router.candidates(&self.net.topo, node, vc, target, &mut cand);
+            let min_q = cand
+                .iter()
+                .map(|h| self.nodes[node.idx()].out[h.port.idx()].queued_bytes)
+                .min()
+                .unwrap_or(0);
+            self.cand = cand;
+            min_q
+        };
+        if min_q >= self.cfg.nic_port_window_bytes {
+            return false;
+        }
+        self.route_and_enqueue(node, pkt);
+        true
+    }
+
+    /// Route `pkt` at `node` and append it to the chosen output queue.
+    fn route_and_enqueue(&mut self, node: NodeId, pkt: PacketId) {
+        let (target, vc) = {
+            let p = &mut self.packets[pkt as usize];
+            if let Some(w) = p.waypoint {
+                if self.net.router.waypoint_reached(&self.net.topo, node, w) {
+                    p.waypoint = None;
+                }
+            }
+            (p.waypoint.unwrap_or(p.dst_node), p.vc)
+        };
+        debug_assert_ne!(node, target, "routing a packet already at its target");
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        self.net.router.candidates(&self.net.topo, node, vc, target, &mut cand);
+        assert!(
+            !cand.is_empty(),
+            "router produced no candidates at {node:?} (vc {vc}) toward {target:?}"
+        );
+        // Score: free downstream credits minus our queued bytes.
+        let mut best = 0usize;
+        let mut best_score = i64::MIN;
+        let mut ties = 0u32;
+        for (i, h) in cand.iter().enumerate() {
+            let peer = self.net.topo.peer(node, h.port);
+            let occ =
+                self.nodes[peer.node.idx()].in_occ[peer.port.idx() * self.num_vcs + h.vc as usize];
+            let free = self.cfg.buffer_bytes.saturating_sub(occ) as i64;
+            let score = free - self.nodes[node.idx()].out[h.port.idx()].queued_bytes as i64;
+            if score > best_score {
+                best = i;
+                best_score = score;
+                ties = 1;
+            } else if score == best_score {
+                // Reservoir-sample among ties for unbiased adaptivity.
+                ties += 1;
+                if self.rng.random_range(0..ties) == 0 {
+                    best = i;
+                }
+            }
+        }
+        let hop = cand[best];
+        self.cand = cand;
+        let bytes = self.packets[pkt as usize].bytes as u64;
+        self.packets[pkt as usize].vc = hop.vc;
+        let ns = &mut self.nodes[node.idx()];
+        ns.out[hop.port.idx()].queues[hop.vc as usize].push_back(pkt);
+        ns.out[hop.port.idx()].queued_bytes += bytes;
+        ns.out_bytes_total += bytes;
+        self.try_transmit(node, hop.port);
+    }
+
+    /// Attempt to transmit a head packet of (node, port): round-robin over
+    /// the per-VC queues, skipping VCs without downstream credit (those
+    /// register as waiters) so one blocked VC never blocks the others.
+    fn try_transmit(&mut self, node: NodeId, port: PortId) {
+        {
+            let op = &self.nodes[node.idx()].out[port.idx()];
+            if op.busy_until > self.now {
+                return;
+            }
+        }
+        let link = *self.net.topo.link(node, port);
+        let peer = link.peer;
+        let nvc = self.num_vcs as u8;
+        let start = self.nodes[node.idx()].out[port.idx()].rr;
+        let mut chosen: Option<(PacketId, u64, u8)> = None;
+        for k in 0..nvc {
+            let vc = (start + k) % nvc;
+            let Some(&pkt) = self.nodes[node.idx()].out[port.idx()].queues[vc as usize].front()
+            else {
+                continue;
+            };
+            debug_assert_eq!(self.packets[pkt as usize].vc, vc);
+            let bytes = self.packets[pkt as usize].bytes as u64;
+            let slot = peer.port.idx() * self.num_vcs + vc as usize;
+            if self.nodes[peer.node.idx()].in_occ[slot] + bytes > self.cfg.buffer_bytes {
+                // No credit on this VC: register once, try the next VC.
+                let op = &mut self.nodes[node.idx()].out[port.idx()];
+                if op.stalled_mask & (1 << vc) == 0 {
+                    op.stalled_mask |= 1 << vc;
+                    self.nodes[peer.node.idx()].waiters[slot].push((node, port));
+                }
+                continue;
+            }
+            chosen = Some((pkt, bytes, vc));
+            break;
+        }
+        let Some((pkt, bytes, vc)) = chosen else {
+            return;
+        };
+        // Reserve downstream space and ship it.
+        let slot = peer.port.idx() * self.num_vcs + vc as usize;
+        self.nodes[peer.node.idx()].in_occ[slot] += bytes;
+        let ser = (bytes as f64 * link.spec.ps_per_byte).round() as u64;
+        {
+            let op = &mut self.nodes[node.idx()].out[port.idx()];
+            op.queues[vc as usize].pop_front();
+            op.queued_bytes -= bytes;
+            op.busy_until = self.now + ser;
+            op.busy_ps += ser;
+            op.rr = (vc + 1) % nvc;
+        }
+        self.nodes[node.idx()].out_bytes_total -= bytes;
+        self.stats.packets_forwarded += 1;
+        self.stats.node_forwarded[node.idx()] += 1;
+        // The packet now holds the downstream buffer; remember the buffer
+        // it held before so PortFree can release it after serialization.
+        let prev_held =
+            self.packets[pkt as usize].held.replace((peer.node, peer.port, vc));
+        let msg = self.packets[pkt as usize].msg;
+        self.push_event(
+            self.now + ser,
+            Event::PortFree { node, port, msg, bytes: bytes as u32, release: prev_held },
+        );
+        let fwd_ser = if self.cfg.cut_through {
+            (bytes.min(self.cfg.flit_bytes) as f64 * link.spec.ps_per_byte).round() as u64
+        } else {
+            ser
+        };
+        self.push_event(
+            self.now + fwd_ser + link.spec.latency_ps + self.cfg.hop_latency_ps,
+            Event::Arrive(peer.node, peer.port, pkt),
+        );
+    }
+
+    fn on_port_free(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        msg: MsgId,
+        bytes: u32,
+        release: Option<(NodeId, PortId, u8)>,
+        app: &mut dyn Application,
+    ) {
+        // Release the buffer the packet occupied before this hop.
+        if let Some((hn, hp, hvc)) = release {
+            self.release_buffer(hn, hp, hvc, bytes as u64);
+        } else {
+            // First hop: the packet left the source NIC. Account injection.
+            let m = &mut self.msgs[msg as usize];
+            m.injected_packets += 1;
+            if m.injected_packets == m.num_packets {
+                let info = m.info;
+                let mut cmds = Vec::new();
+                {
+                    let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                    app.on_send_complete(&mut ctx, info);
+                }
+                self.apply_cmds(&mut cmds, app);
+            }
+        }
+        // Output queue space was freed: the local NIC (if any) may inject.
+        // Accelerators also forward transit traffic (HxMesh/torus), so this
+        // must run for every departure, not just first hops.
+        self.pump_nic(node, None);
+        self.try_transmit(node, port);
+    }
+
+    fn release_buffer(&mut self, node: NodeId, port: PortId, vc: u8, bytes: u64) {
+        let slot = port.idx() * self.num_vcs + vc as usize;
+        let ns = &mut self.nodes[node.idx()];
+        debug_assert!(ns.in_occ[slot] >= bytes, "buffer accounting underflow");
+        ns.in_occ[slot] -= bytes;
+        let waiters = std::mem::take(&mut ns.waiters[slot]);
+        let vc_bit = 1u8 << (slot % self.num_vcs) as u8;
+        for (wn, wp) in waiters {
+            self.nodes[wn.idx()].out[wp.idx()].stalled_mask &= !vc_bit;
+            self.try_transmit(wn, wp);
+        }
+    }
+
+    fn on_arrive(&mut self, node: NodeId, port: PortId, pkt: PacketId, app: &mut dyn Application) {
+        let _ = port;
+        let dst = self.packets[pkt as usize].dst_node;
+        if node == dst {
+            // Ejection: free the buffer immediately and deliver.
+            let (bytes, vc, msg) = {
+                let p = &self.packets[pkt as usize];
+                (p.bytes as u64, p.vc, p.msg)
+            };
+            if let Some((hn, hp, hvc)) = self.packets[pkt as usize].held.take() {
+                debug_assert_eq!((hn, hvc), (node, vc));
+                debug_assert_eq!(hp, port);
+                self.release_buffer(hn, hp, hvc, bytes);
+            }
+            self.free_packets.push(pkt);
+            self.stats.bytes_delivered += bytes;
+            let m = &mut self.msgs[msg as usize];
+            m.delivered_packets += 1;
+            m.delivered_bytes += bytes;
+            if m.delivered_packets == m.num_packets {
+                debug_assert_eq!(m.delivered_bytes, m.info.bytes);
+                let info = m.info;
+                self.stats.messages_delivered += 1;
+                self.stats
+                    .rank_recv_done_ps
+                    .resize(self.net.endpoints.len().max(self.stats.rank_recv_done_ps.len()), 0);
+                self.stats.rank_recv_done_ps[info.dst_rank as usize] = self.now;
+                self.stats.rank_recv_bytes
+                    .resize(self.net.endpoints.len().max(self.stats.rank_recv_bytes.len()), 0);
+                self.stats.rank_recv_bytes[info.dst_rank as usize] += info.bytes;
+                let mut cmds = Vec::new();
+                {
+                    let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                    app.on_message(&mut ctx, info);
+                }
+                self.apply_cmds(&mut cmds, app);
+            }
+            return;
+        }
+        // Transit: pick the next hop. The packet keeps occupying this input
+        // buffer (reserved at upstream transmit time) until it moves on.
+        self.route_and_enqueue(node, pkt);
+    }
+}
+
+/// Extra field kept out of the struct literal above for clarity.
+#[allow(dead_code)]
+trait EngineGuard {}
+
+
+impl Engine<'_> {
+    /// Diagnostic: describe packets still in flight (for deadlock hunts).
+    pub fn dump_stuck(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, p) in self.packets.iter().enumerate() {
+            if self.free_packets.contains(&(i as u32)) { continue; }
+            let m = &self.msgs[p.msg as usize];
+            if m.delivered_packets >= m.num_packets { continue; }
+            out.push(format!(
+                "pkt{} msg{} {}->{} vc{} held={:?} waypoint={:?}",
+                i, p.msg, m.info.src_rank, m.info.dst_rank, p.vc, p.held, p.waypoint
+            ));
+        }
+        for (ni, n) in self.nodes.iter().enumerate() {
+            for (pi, op) in n.out.iter().enumerate() {
+                if op.queues.iter().any(|q| !q.is_empty()) {
+                    out.push(format!(
+                        "node{} port{} queues={:?} stalled_mask={:#b} busy_until={}",
+                        ni, pi, op.queues, op.stalled_mask, op.busy_until
+                    ));
+                }
+            }
+            if !n.nic_pending.is_empty() {
+                out.push(format!("node{} nic_pending={:?}", ni, n.nic_pending));
+            }
+            for (si, w) in n.waiters.iter().enumerate() {
+                if !w.is_empty() {
+                    out.push(format!("node{} slot{} (port {}, vc {}) occ={} waiters={:?}",
+                        ni, si, si / self.num_vcs, si % self.num_vcs, n.in_occ[si], w));
+                }
+            }
+        }
+        out
+    }
+}
+
+struct EngineProbe<'a> {
+    nodes: &'a [NodeState],
+}
+
+impl LoadProbe for EngineProbe<'_> {
+    fn queued_bytes(&self, node: NodeId, port: PortId) -> u64 {
+        self.nodes[node.idx()].out[port.idx()].queued_bytes
+    }
+}

@@ -1,0 +1,54 @@
+//! # hxsim — packet-level network simulator
+//!
+//! A from-scratch discrete-event, packet-level network simulator standing
+//! in for the Structural Simulation Toolkit (SST) the paper uses (App. F).
+//! It models:
+//!
+//! * store-and-forward packet switching with per-hop serialization at the
+//!   link rate (8 KiB packets, 400 Gb/s links by default — App. F),
+//! * credit-based flow control: each `(input port, VC)` buffer has a byte
+//!   capacity; a sender reserves downstream space before transmitting and
+//!   stalls otherwise (head-of-line, like input-buffered switches),
+//! * packet-level adaptive routing: at every hop the topology's
+//!   [`hxnet::Router`] provides minimal candidates and the engine picks
+//!   the one with the most free downstream credits,
+//! * virtual channels for deadlock freedom, driven entirely by the router
+//!   (§IV-C3),
+//! * source-side path selection (Valiant / intermediate boards) through
+//!   router waypoints,
+//! * an [`Application`] callback interface for traffic generation with
+//!   simulated compute time.
+//!
+//! Time is measured in integer **picoseconds**; at 400 Gb/s one byte is
+//! exactly 20 ps, so all serialization times are exact.
+//!
+//! ```
+//! use hxnet::hammingmesh::HxMeshParams;
+//! use hxsim::{Engine, SimConfig, apps::MessageBlast};
+//!
+//! let net = HxMeshParams::square(2, 2).build();
+//! let mut app = MessageBlast::pairs(vec![(0, 15, 1 << 20)]); // 1 MiB
+//! let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+//! assert_eq!(stats.messages_delivered, 1);
+//! assert!(stats.finish_ps > 0);
+//! ```
+
+pub mod apps;
+pub mod engine;
+pub mod stats;
+
+#[cfg(test)]
+mod tests_edge;
+
+pub use engine::{Application, Cmd, Ctx, Engine, MsgInfo, SimConfig};
+pub use stats::SimStats;
+
+/// Simulated time in picoseconds.
+pub type Time = u64;
+
+/// Default packet size from the paper's SST configuration (App. F).
+pub const DEFAULT_PACKET_BYTES: u64 = 8192;
+
+/// Default per-(port,VC) input buffer. The paper uses 32 MB per port; we
+/// split it evenly across at most 4 VCs.
+pub const DEFAULT_BUFFER_BYTES: u64 = 8 * 1024 * 1024;

@@ -1,0 +1,59 @@
+//! Run statistics collected by the engine.
+
+use crate::Time;
+
+/// Counters and timing collected over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Simulated time at which the last event executed.
+    pub finish_ps: Time,
+    pub events: u64,
+    pub messages_sent: u64,
+    pub messages_delivered: u64,
+    pub bytes_delivered: u64,
+    pub packets_forwarded: u64,
+    /// Messages still in flight when the event queue drained — nonzero
+    /// means a routing/flow-control deadlock or a missing dependency.
+    pub undelivered_messages: usize,
+    /// The run hit `max_time_ps`.
+    pub timed_out: bool,
+    /// Sum of busy picoseconds over all directed links.
+    pub total_link_busy_ps: u64,
+    /// Per destination rank: time its last message completed.
+    pub rank_recv_done_ps: Vec<Time>,
+    /// Per destination rank: total bytes received.
+    pub rank_recv_bytes: Vec<u64>,
+    /// Per node (accelerator or switch): packets it transmitted on any of
+    /// its output ports. Used to verify the §IV-A no-interference claim —
+    /// traffic of a job never crosses boards of another job.
+    pub node_forwarded: Vec<u64>,
+}
+
+impl SimStats {
+    /// Aggregate delivered bandwidth in bytes per picosecond.
+    pub fn delivered_bytes_per_ps(&self) -> f64 {
+        if self.finish_ps == 0 {
+            return 0.0;
+        }
+        self.bytes_delivered as f64 / self.finish_ps as f64
+    }
+
+    /// Aggregate delivered bandwidth in Gb/s.
+    pub fn delivered_gbps(&self) -> f64 {
+        self.delivered_bytes_per_ps() * 8.0 * 1000.0
+    }
+
+    /// Per-rank receive bandwidth in bytes/ps, for ranks that received.
+    pub fn rank_recv_bytes_per_ps(&self) -> Vec<f64> {
+        self.rank_recv_bytes
+            .iter()
+            .zip(self.rank_recv_done_ps.iter())
+            .map(|(&b, &t)| if t > 0 { b as f64 / t as f64 } else { 0.0 })
+            .collect()
+    }
+
+    /// True if the run completed every message without timing out.
+    pub fn clean(&self) -> bool {
+        !self.timed_out && self.undelivered_messages == 0
+    }
+}

@@ -1,0 +1,120 @@
+//! Engine edge-case tests: tiny buffers, congestion backpressure, window
+//! effects, cut-through vs store-and-forward, and timeouts.
+
+use crate::apps::{Alltoall, MessageBlast, UniformRandom};
+use crate::{Engine, SimConfig};
+use hxnet::fattree::single_switch;
+use hxnet::hammingmesh::HxMeshParams;
+
+#[test]
+fn tiny_buffers_still_drain() {
+    // One packet of buffer per (port, VC): maximum backpressure.
+    let net = HxMeshParams::square(2, 2).build();
+    let cfg = SimConfig {
+        buffer_bytes: crate::DEFAULT_PACKET_BYTES,
+        max_time_ps: 500_000_000_000,
+        ..SimConfig::default()
+    };
+    let mut app = Alltoall::new(net.num_ranks(), 64 << 10, 2);
+    let stats = Engine::new(&net, cfg).run(&mut app);
+    assert!(stats.clean(), "{stats:?}");
+}
+
+#[test]
+fn store_and_forward_is_slower_than_cut_through() {
+    let net = HxMeshParams::square(2, 2).build();
+    let run = |cut_through: bool| {
+        let cfg = SimConfig { cut_through, ..SimConfig::default() };
+        let mut app = MessageBlast::pairs(vec![(0, 15, 256 << 10)]);
+        Engine::new(&net, cfg).run(&mut app).finish_ps
+    };
+    let ct = run(true);
+    let sf = run(false);
+    assert!(ct < sf, "cut-through {ct} !< store-and-forward {sf}");
+}
+
+#[test]
+fn congestion_backpressure_reduces_bandwidth_not_correctness() {
+    // Everyone sends to rank 0: an incast. All messages must still arrive,
+    // at roughly the ejection-port line rate.
+    let net = single_switch(9, "incast");
+    let sends: Vec<(u32, u32, u64)> = (1..9).map(|s| (s, 0, 1 << 20)).collect();
+    let total: u64 = sends.iter().map(|s| s.2).sum();
+    let mut app = MessageBlast::pairs(sends);
+    let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+    assert!(stats.clean());
+    // One 400 Gb/s ejection link: at least total * 20 ps.
+    assert!(stats.finish_ps >= total * 20, "{} < {}", stats.finish_ps, total * 20);
+    assert!(stats.finish_ps < total * 20 * 2, "incast should stream near line rate");
+}
+
+#[test]
+fn max_time_guard_reports_timeout() {
+    let net = single_switch(2, "pair");
+    let cfg = SimConfig { max_time_ps: 10, ..SimConfig::default() };
+    let mut app = MessageBlast::pairs(vec![(0, 1, 1 << 20)]);
+    let stats = Engine::new(&net, cfg).run(&mut app);
+    assert!(stats.timed_out);
+    assert!(!stats.clean());
+}
+
+#[test]
+fn single_byte_messages_work() {
+    let net = HxMeshParams::square(2, 2).build();
+    let mut app = MessageBlast::pairs(vec![(0, 5, 1), (5, 0, 1)]);
+    let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+    assert!(stats.clean());
+    assert_eq!(stats.messages_delivered, 2);
+    assert_eq!(stats.bytes_delivered, 2);
+}
+
+#[test]
+fn node_forwarded_counters_conserve_packets() {
+    let net = HxMeshParams::square(2, 2).build();
+    let mut app = UniformRandom::new(net.num_ranks(), 32 << 10, 4, 5);
+    let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+    assert!(stats.clean());
+    let sum: u64 = stats.node_forwarded.iter().sum();
+    assert_eq!(sum, stats.packets_forwarded);
+    // Sources forwarded at least their own injected packets.
+    assert!(sum >= stats.messages_sent);
+}
+
+#[test]
+fn narrow_nic_window_serializes_but_completes() {
+    let net = HxMeshParams::square(2, 2).build();
+    let run = |window: u64| {
+        let cfg = SimConfig {
+            nic_window_bytes: window,
+            nic_port_window_bytes: window,
+            ..SimConfig::default()
+        };
+        let mut app = Alltoall::new(net.num_ranks(), 32 << 10, 2);
+        let stats = Engine::new(&net, cfg).run(&mut app);
+        assert!(stats.clean(), "window {window}: {stats:?}");
+        stats.finish_ps
+    };
+    let narrow = run(crate::DEFAULT_PACKET_BYTES);
+    let wide = run(64 * crate::DEFAULT_PACKET_BYTES);
+    assert!(wide <= narrow, "wider window must not be slower: {wide} vs {narrow}");
+}
+
+#[test]
+fn waypoints_off_still_completes_alltoall() {
+    let net = HxMeshParams::square(2, 4).build();
+    let cfg = SimConfig { use_waypoints: false, ..SimConfig::default() };
+    let mut app = Alltoall::new(net.num_ranks(), 16 << 10, 2);
+    let stats = Engine::new(&net, cfg).run(&mut app);
+    assert!(stats.clean(), "{stats:?}");
+}
+
+#[test]
+fn stats_bandwidth_helpers() {
+    let net = single_switch(2, "pair");
+    let mut app = MessageBlast::pairs(vec![(0, 1, 1 << 20)]);
+    let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
+    assert!(stats.delivered_gbps() > 100.0);
+    assert!(stats.delivered_bytes_per_ps() > 0.0);
+    let per_rank = stats.rank_recv_bytes_per_ps();
+    assert!(per_rank[1] > 0.0);
+}

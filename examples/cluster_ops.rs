@@ -1,0 +1,52 @@
+//! Operating an HxMesh cluster: allocate a mix of training jobs, survive
+//! board failures through virtual sub-meshes (§III-E / Fig. 5), and watch
+//! utilization.
+//!
+//! ```sh
+//! cargo run --release --example cluster_ops
+//! ```
+
+use hammingmesh::hxalloc::experiments::{allocate_mix, fig8_strategies};
+use hammingmesh::hxalloc::workload::{JobMix, JobSizeDistribution};
+use hammingmesh::prelude::*;
+
+fn main() {
+    // Fig. 5's scenario: a 4x4 Hx2Mesh with three failed boards.
+    let mut mesh = BoardMesh::new(4, 4);
+    mesh.fail_board(2, 1);
+    mesh.fail_board(2, 3);
+    mesh.fail_board(3, 2);
+    println!("4x4 mesh, 3 failed boards -> {} working", mesh.working_boards());
+
+    // A 3x3 job still fits: the rows need not be contiguous, they only
+    // need a common set of 3 free columns (a virtual sub-HxMesh).
+    let p = mesh.allocate(1, 3, 3, Heuristics::all()).expect("3x3 fits despite failures");
+    println!("3x3 job placed on rows {:?} x cols {:?}", p.rows, p.cols);
+    let p2 = mesh.allocate(2, 1, 4, Heuristics::all());
+    println!("1x4 job: {p2:?}");
+    mesh.check_invariants().unwrap();
+    println!("utilization of working boards: {:.0}%", mesh.utilization() * 100.0);
+
+    // Now a production-size scenario: a 16x16 Hx2Mesh filled with a random
+    // MLaaS job mix under the strongest heuristic stack.
+    println!("\n16x16 Hx2Mesh, random job mix:");
+    let dist = JobSizeDistribution::for_cluster(256);
+    let mix = JobMix::draw(&dist, 256, 2024);
+    println!("  {} jobs totalling {} boards", mix.num_jobs(), mix.total_boards());
+    let strat = *fig8_strategies().last().unwrap();
+    let mut mesh = BoardMesh::new(16, 16);
+    let util = allocate_mix(&mut mesh, &mix, strat);
+    println!("  strategy {:?}", strat.name);
+    println!("  utilization: {:.1}%", util * 100.0);
+
+    // Inspect where the largest job landed and its upper-tree traffic.
+    if let Some(p) = mesh.placements().max_by_key(|p| p.boards()) {
+        println!(
+            "  largest job: {} boards on rows {:?} cols {:?}; alltoall upper-tree share {:.0}%",
+            p.boards(),
+            p.rows,
+            p.cols,
+            mesh.upper_traffic_alltoall(&p.rows, &p.cols) * 100.0
+        );
+    }
+}

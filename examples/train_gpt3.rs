@@ -1,0 +1,69 @@
+//! Simulate one (scaled-down) GPT-3 training iteration on three different
+//! interconnects and compare, reproducing the §V-B5 experiment's shape:
+//! the fat tree is fastest, HammingMesh close behind at a fraction of the
+//! cost, the torus far behind.
+//!
+//! ```sh
+//! cargo run --release --example train_gpt3
+//! ```
+
+use hammingmesh::hxcollect::simapp::ScheduleApp;
+use hammingmesh::hxmodels::analytic::{estimate_iteration, TopologyPerf};
+use hammingmesh::hxmodels::schedule::{build_iteration, ScaledConfig};
+use hammingmesh::hxmodels::DnnWorkload;
+use hammingmesh::prelude::*;
+
+fn main() {
+    let gpt3 = DnnWorkload::gpt3();
+    println!(
+        "GPT-3 (paper config): D={} P={} O={} = {} accelerators, {:.1} ms compute/iter",
+        gpt3.parallelism.d,
+        gpt3.parallelism.p,
+        gpt3.parallelism.o,
+        gpt3.parallelism.total(),
+        gpt3.compute_ps as f64 / 1e9
+    );
+
+    // 1) Full-scale analytic estimates (α-β model + Table II bandwidths).
+    println!("\nfull-scale iteration estimates (paper: FT 34.8, Hx2 41.7, Hx4 49.9, torus 72.2 ms):");
+    for t in TopologyPerf::table2_small() {
+        let e = estimate_iteration(&gpt3, &t);
+        println!(
+            "  {:<24} {:>7.1} ms  (exposed comm {:>6.1} ms, network ${:.1} M)",
+            t.name,
+            e.iteration_ms(),
+            e.exposed_ps as f64 / 1e9,
+            t.cost_musd
+        );
+    }
+
+    // 2) Scaled-down packet-level simulation: 16 accelerators, volumes
+    //    shrunk 500x, same D x P x O structure.
+    let mut cfg = ScaledConfig::fit(&gpt3, 16);
+    cfg.bytes_scale = 0.002;
+    let sched = build_iteration(&gpt3, &cfg);
+    println!(
+        "\nscaled simulation: D={} P={} O={} ({} ranks, {} schedule ops)",
+        cfg.parallelism.d,
+        cfg.parallelism.p,
+        cfg.parallelism.o,
+        cfg.parallelism.total(),
+        sched.num_ops()
+    );
+    let nets = vec![
+        HxMeshParams::square(2, 2).build(),
+        TorusParams { cols: 4, rows: 4, board: 2 }.build(),
+        FatTreeParams::scaled_nonblocking(16, 16).build(),
+    ];
+    for net in &nets {
+        let mut app = ScheduleApp::new(&sched);
+        let stats = Engine::new(net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean());
+        println!(
+            "  {:<28} {:>9.3} ms simulated ({} packets forwarded)",
+            net.name,
+            stats.finish_ps as f64 / 1e9,
+            stats.packets_forwarded
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace-root companion crate: hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The library surface simply re-exports the facade crate.
+
+pub use hammingmesh;

@@ -1,0 +1,150 @@
+//! Property-based tests over the core invariants (proptest).
+
+use hammingmesh::hxalloc::{BoardMesh, Heuristics};
+use hammingmesh::hxcollect::logical::check_allreduce;
+use hammingmesh::hxcollect::rings::{
+    disjoint_hamiltonian_cycles, feasible, validate_cycle, validate_disjoint,
+};
+use hammingmesh::hxcollect::{
+    bidirectional_ring_allreduce, binomial_tree_allreduce, ring_allreduce, torus2d_allreduce,
+};
+use hammingmesh::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ring allreduce is numerically correct for arbitrary sizes.
+    #[test]
+    fn prop_ring_allreduce_correct(p in 2usize..12, n in 1usize..80) {
+        let n = n.max(p);
+        check_allreduce(&ring_allreduce(p, n)).unwrap();
+    }
+
+    #[test]
+    fn prop_bidirectional_ring_correct(p in 2usize..10, n in 2usize..64) {
+        let n = n.max(2 * p);
+        check_allreduce(&bidirectional_ring_allreduce(p, n)).unwrap();
+    }
+
+    #[test]
+    fn prop_torus2d_allreduce_correct(r in 2usize..6, c in 2usize..6, k in 1usize..4) {
+        let n = r * c * k * 4;
+        check_allreduce(&torus2d_allreduce(r, c, n, k % 2 == 0)).unwrap();
+    }
+
+    #[test]
+    fn prop_binomial_tree_correct(p in 2usize..20, n in 1usize..40) {
+        check_allreduce(&binomial_tree_allreduce(p, n)).unwrap();
+    }
+
+    /// Whenever Bae et al.'s conditions hold, the construction yields two
+    /// valid edge-disjoint Hamiltonian cycles.
+    #[test]
+    fn prop_disjoint_cycles_valid(c in 2usize..9, k in 1usize..5) {
+        let r = c * k;
+        prop_assume!(feasible(r, c).is_ok());
+        let (g, red) = disjoint_hamiltonian_cycles(r, c).unwrap();
+        validate_cycle(&g, r, c).unwrap();
+        validate_cycle(&red, r, c).unwrap();
+        validate_disjoint(&g, &red).unwrap();
+    }
+
+    /// The allocator never double-books boards, never uses failed boards,
+    /// and every placement's rows share one column set.
+    #[test]
+    fn prop_allocator_invariants(
+        x in 2usize..12,
+        y in 2usize..12,
+        jobs in proptest::collection::vec((1usize..5, 1usize..5), 0..24),
+        failures in proptest::collection::vec((0usize..12, 0usize..12), 0..6),
+    ) {
+        let mut mesh = BoardMesh::new(x, y);
+        for (r, c) in failures {
+            if r < y && c < x && mesh.owner(r, c).is_none() {
+                mesh.fail_board(r, c);
+            }
+        }
+        for (id, (u, v)) in jobs.into_iter().enumerate() {
+            let _ = mesh.allocate(id as u32, u, v, Heuristics::all());
+        }
+        mesh.check_invariants().unwrap();
+        prop_assert!(mesh.allocated_boards() <= mesh.working_boards());
+    }
+
+    /// Freeing everything returns the mesh to empty.
+    #[test]
+    fn prop_allocate_free_roundtrip(
+        x in 2usize..10,
+        y in 2usize..10,
+        jobs in proptest::collection::vec((1usize..4, 1usize..4), 1..12),
+    ) {
+        let mut mesh = BoardMesh::new(x, y);
+        let mut placed = Vec::new();
+        for (id, (u, v)) in jobs.into_iter().enumerate() {
+            if mesh.allocate(id as u32, u, v, Heuristics::all()).is_ok() {
+                placed.push(id as u32);
+            }
+        }
+        for id in placed {
+            mesh.free(id);
+        }
+        prop_assert_eq!(mesh.allocated_boards(), 0);
+        mesh.check_invariants().unwrap();
+    }
+
+    /// HxMesh routing reaches every destination within the diameter bound
+    /// for random shapes, following random candidates.
+    #[test]
+    fn prop_hxmesh_routing_terminates(
+        a in 1usize..4,
+        b in 1usize..4,
+        x in 1usize..5,
+        y in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(a * b * x * y >= 2);
+        prop_assume!(x >= 2 || y >= 2 || a * b >= 2);
+        let net = HxMeshParams { a, b, x, y, taper: 0.0, radix: 64 }.build();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = net.num_ranks();
+        for _ in 0..16 {
+            let s = rng.random_range(0..n);
+            let d = rng.random_range(0..n);
+            if s == d { continue; }
+            let (mut node, dst) = (net.endpoints[s], net.endpoints[d]);
+            let mut vc = 0u8;
+            let mut hops = 0u32;
+            while node != dst {
+                let mut cand = Vec::new();
+                net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+                prop_assert!(!cand.is_empty(), "stuck at {:?}", node);
+                let h = cand[rng.random_range(0..cand.len())];
+                prop_assert!(h.vc < net.router.num_vcs());
+                node = net.topo.peer(node, h.port).node;
+                vc = h.vc;
+                hops += 1;
+                prop_assert!(hops < 128, "livelock {}->{}", s, d);
+            }
+        }
+    }
+
+    /// Random traffic on random small HxMeshes always drains (deadlock
+    /// freedom of the 3-VC scheme under credit flow control).
+    #[test]
+    fn prop_hxmesh_simulation_drains(
+        board in 1usize..3,
+        n in 2usize..4,
+        msgs in 2u32..6,
+        seed in 0u64..500,
+    ) {
+        let net = HxMeshParams::square(board, n).build();
+        let mut app = hammingmesh::hxsim::apps::UniformRandom::new(
+            net.num_ranks(), 16 * 1024, msgs, seed);
+        let mut cfg = SimConfig::default();
+        cfg.max_time_ps = 100_000_000_000;
+        let stats = Engine::new(&net, cfg).run(&mut app);
+        prop_assert!(stats.clean(), "{:?}", stats);
+    }
+}
