@@ -14,6 +14,12 @@ use hammingmesh::hxcost::Inventory;
 
 fn main() {
     let args = HarnessArgs::parse();
+    // Quick-mode message sizes; --full restores the paper-scale 32 KiB
+    // alltoall / 16 MiB allreduce used for the reported numbers. The
+    // topology shapes themselves cannot shrink: ablation 1 needs 2x = 96
+    // ports per line to force two-level (taperable) global trees.
+    let (a2a_msg, ared_msg): (u64, u64) =
+        if args.full { (32 << 10, 16 << 20) } else { (16 << 10, 1 << 20) };
 
     header("Ablation 1 — HxMesh global-network tapering (§III-F)");
     println!(
@@ -33,10 +39,10 @@ fn main() {
         let net = p.build();
         let inv = Inventory::from_network(&net, 1);
         let a2a = timed(&format!("taper {taper} a2a"), || {
-            experiments::alltoall_bandwidth(&net, 32 << 10, 2)
+            experiments::alltoall_bandwidth(&net, a2a_msg, 2)
         });
         let ar = timed(&format!("taper {taper} ared"), || {
-            experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, 16 << 20)
+            experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, ared_msg)
         });
         println!(
             "{:>8} {:>9} {:>9} {:>10.1}% {:>11.1}%",
@@ -56,10 +62,10 @@ fn main() {
         let p = HxMeshParams::square(board, side);
         let net = p.build();
         let a2a = timed(&format!("hx{board} a2a"), || {
-            experiments::alltoall_bandwidth(&net, 32 << 10, 2)
+            experiments::alltoall_bandwidth(&net, a2a_msg, 2)
         });
         let ar = timed(&format!("hx{board} ared"), || {
-            experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, 16 << 20)
+            experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, ared_msg)
         });
         println!(
             "{:>8} {:>9.1}% {:>10.1}% {:>11.1}%",
@@ -73,9 +79,8 @@ fn main() {
     header("Ablation 3 — source-adaptive waypoints");
     for use_waypoints in [true, false] {
         let net = HxMeshParams::square(2, if args.full { 8 } else { 4 }).build();
-        let mut cfg = SimConfig::default();
-        cfg.use_waypoints = use_waypoints;
-        let mut app = hammingmesh::hxsim::apps::Alltoall::new(net.num_ranks(), 32 << 10, 2);
+        let cfg = SimConfig { use_waypoints, ..Default::default() };
+        let mut app = hammingmesh::hxsim::apps::Alltoall::new(net.num_ranks(), a2a_msg, 2);
         let stats = timed(&format!("waypoints={use_waypoints}"), || {
             Engine::new(&net, cfg).run(&mut app)
         });

@@ -33,7 +33,10 @@ fn main() {
         );
     }
 
-    let (n, msg) = if args.full { (1024usize, 1u64 << 20) } else { (256, 256 << 10) };
+    // Quick scale is 64 endpoints / 128 KiB base message: 256 endpoints of
+    // packet simulation across 8 topologies takes minutes (the harness
+    // contract is "quick finishes in seconds").
+    let (n, msg) = if args.full { (1024usize, 1u64 << 20) } else { (64, 128 << 10) };
     header(&format!(
         "Table II — simulated bandwidths ({n} endpoints, {} messages)",
         fmt_bytes(msg)

@@ -1,0 +1,47 @@
+//! Smoke test: every figure binary must run to completion at quick scale.
+//!
+//! Each binary is invoked with `--traces 1` (one trace / repetition, quick
+//! default sizes) and must exit 0. This keeps the figure harness from
+//! silently rotting: a binary that panics, deadlocks in the simulator, or
+//! drifts out of sync with a library API fails this suite.
+
+use std::process::Command;
+
+/// Run one compiled figure binary and assert a clean exit.
+fn run_quick(exe: &str) {
+    let out = Command::new(exe)
+        .args(["--traces", "1"])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+macro_rules! smoke {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run_quick(env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+        }
+    )*};
+}
+
+smoke!(
+    fig7_workload_cdf,
+    fig8_utilization,
+    fig9_upper_traffic,
+    fig10_failures,
+    fig11_alltoall,
+    fig12_permutation,
+    fig13_allreduce,
+    fig15_dnn_savings,
+    fig16_disjoint_rings,
+    table2,
+    ablations,
+    dnn_iteration_times,
+);

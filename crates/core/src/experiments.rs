@@ -42,7 +42,7 @@ pub enum AllreduceAlgo {
 /// Grid factorization of `n` ranks for torus-structured algorithms.
 fn near_square_grid(n: usize) -> (usize, usize) {
     let mut r = (n as f64).sqrt() as usize;
-    while r > 1 && n % r != 0 {
+    while r > 1 && !n.is_multiple_of(r) {
         r -= 1;
     }
     (n / r, r) // rows >= cols so r = k*c more often satisfiable

@@ -175,7 +175,7 @@ impl BoardMesh {
             let boards = u * v;
             let mut alts: Vec<(usize, usize)> = Vec::new();
             for uu in 1..=boards {
-                if boards % uu != 0 {
+                if !boards.is_multiple_of(uu) {
                     continue;
                 }
                 let vv = boards / uu;

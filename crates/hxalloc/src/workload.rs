@@ -63,7 +63,7 @@ impl JobSizeDistribution {
     /// Sample one job size in boards (>= 1).
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         if rng.random_range(0.0..1.0) < self.small_mass {
-            return *[1usize, 2, 4, 8].get(rng.random_range(0..4)).unwrap();
+            return *[1usize, 2, 4, 8].get(rng.random_range(0..4usize)).unwrap();
         }
         // Inverse-CDF sampling of a truncated continuous power law on
         // [1, max], then floor.
@@ -143,7 +143,7 @@ impl JobMix {
 pub fn most_square_shape(s: usize) -> (usize, usize) {
     let mut u = (s as f64).sqrt() as usize;
     while u >= 1 {
-        if s % u == 0 {
+        if s.is_multiple_of(u) {
             return (u, s / u);
         }
         u -= 1;

@@ -250,7 +250,7 @@ fn torus2d_instance(rows: usize, cols: usize, off: u32, len: u32, transposed: bo
         // Degenerate: single column; just ring-allreduce each column.
         for j in 0..ec {
             let order: Vec<u32> = (0..er).map(|i| rank_of(i, j)).collect();
-            ring_allreduce_on(&mut s, &order, off, len, 0, &no_deps[..er].to_vec());
+            ring_allreduce_on(&mut s, &order, off, len, 0, &no_deps[..er]);
         }
         return s;
     }

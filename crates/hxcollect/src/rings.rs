@@ -43,7 +43,7 @@ pub fn feasible(r: usize, c: usize) -> Result<(), RingError> {
     if r < 3 || c < 3 {
         return Err(RingError::TooSmall);
     }
-    if r % c != 0 {
+    if !r.is_multiple_of(c) {
         return Err(RingError::NotMultiple);
     }
     if gcd(r, c - 1) != 1 {
@@ -145,10 +145,10 @@ pub fn single_hamiltonian_cycle(r: usize, c: usize) -> Option<Cycle> {
     if r < 2 || c < 2 {
         return None;
     }
-    if r % c == 0 {
+    if r.is_multiple_of(c) {
         return Some((0..r * c).map(|x| green_coord(x, r, c)).collect());
     }
-    if c % 2 == 0 {
+    if c.is_multiple_of(2) {
         // Snake down/up pairs of rows in each column strip, closing along
         // row 0: (0,0) .. (0,c-1) handled by walking columns.
         let mut cy = Vec::with_capacity(r * c);
@@ -171,7 +171,7 @@ pub fn single_hamiltonian_cycle(r: usize, c: usize) -> Option<Cycle> {
         // Reorder so it starts at (0,0) and is a proper cycle.
         debug_assert_eq!(cy.len(), r * c);
         Some(cy)
-    } else if r % 2 == 0 {
+    } else if r.is_multiple_of(2) {
         single_hamiltonian_cycle(c, r)
             .map(|cy| cy.into_iter().map(|(i, j)| (j, i)).collect())
     } else {

@@ -65,6 +65,9 @@ impl Inventory {
         .planes(planes)
     }
 
+    // Named `add` for call-site readability; not an `std::ops::Add` impl
+    // because inventories are summed by value in builder-style chains.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         Self {
             switches: self.switches + other.switches,

@@ -255,8 +255,8 @@ mod tests {
         ];
         for net in &nets {
             let mut app = UniformRandom::new(net.num_ranks(), 24 * 1024, 8, 99);
-            let mut cfg = SimConfig::default();
-            cfg.max_time_ps = 200_000_000_000; // 200 ms guard
+            // 200 ms guard
+            let cfg = SimConfig { max_time_ps: 200_000_000_000, ..Default::default() };
             let stats = Engine::new(net, cfg).run(&mut app);
             assert!(stats.clean(), "{}: {stats:?}", net.name);
         }

@@ -142,8 +142,7 @@ proptest! {
         let net = HxMeshParams::square(board, n).build();
         let mut app = hammingmesh::hxsim::apps::UniformRandom::new(
             net.num_ranks(), 16 * 1024, msgs, seed);
-        let mut cfg = SimConfig::default();
-        cfg.max_time_ps = 100_000_000_000;
+        let cfg = SimConfig { max_time_ps: 100_000_000_000, ..Default::default() };
         let stats = Engine::new(&net, cfg).run(&mut app);
         prop_assert!(stats.clean(), "{:?}", stats);
     }

@@ -1,0 +1,243 @@
+//! Offline API-compatible shim for the subset of `criterion` this
+//! workspace uses. The build environment has no registry access, so this
+//! provides the same macros/builder surface but measures with plain
+//! wall-clock timing: each benchmark runs a short warm-up, then
+//! `sample_size` timed batches, and prints mean time per iteration.
+//! Statistical analysis, HTML reports, and comparison baselines are out of
+//! scope — swap in the real criterion for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; printed alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Mean nanoseconds per iteration of the most recent `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let samples = self.cfg.sample_size.max(1) as u64;
+        let budget_per_sample = self.cfg.measurement_time / self.cfg.sample_size.max(1) as u32;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let mut n = 0u64;
+            loop {
+                black_box(routine());
+                n += 1;
+                if start.elapsed() >= budget_per_sample {
+                    break;
+                }
+            }
+            total += start.elapsed();
+            iters += n;
+        }
+        self.last_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Top-level benchmark driver (builder + runner).
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+
+impl Criterion {
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.cfg.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.cfg.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&self.cfg, name, None, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.cfg, &id.name, None, |b| f(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { cfg: &self.cfg, name: name.into(), throughput: None }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    cfg: &'a Config,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.cfg, &full, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(self.cfg, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(cfg: &Config, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { cfg, last_ns: 0.0 };
+    f(&mut b);
+    let per_iter = b.last_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / per_iter * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {:>12.1} ns/iter{rate}", per_iter);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline API-compatible shim for the subset of `rayon` this workspace
+//! uses (`into_par_iter` + standard iterator adapters). The build
+//! environment has no registry access, so parallel iteration degrades to
+//! sequential `std` iteration — identical results, single-threaded.
+//! Swapping in the real rayon restores parallelism with no call-site
+//! changes.
+
+pub mod iter {
+    /// `into_par_iter()` entry point; yields a plain sequential iterator.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Marker mirroring rayon's `ParallelIterator`; every sequential
+    /// iterator qualifies, so `map`/`filter`/`collect` chains type-check
+    /// unchanged.
+    pub trait ParallelIterator: Iterator {}
+    impl<T: Iterator> ParallelIterator for T {}
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_map_collect_matches_std() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0..10usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+}
