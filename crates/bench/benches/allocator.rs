@@ -13,7 +13,8 @@ fn bench_single_alloc(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("16x16_job", side), &side, |b, &side| {
             b.iter(|| {
                 let mut mesh = BoardMesh::new(side, side);
-                mesh.allocate(1, 16.min(side), 16.min(side), Heuristics::all()).unwrap()
+                mesh.allocate(1, 16.min(side), 16.min(side), Heuristics::all())
+                    .unwrap()
             })
         });
     }

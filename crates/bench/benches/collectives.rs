@@ -1,7 +1,9 @@
 //! Criterion benchmarks of schedule generation and the logical executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hammingmesh::hxcollect::allreduce::{disjoint_rings_allreduce, ring_allreduce, torus2d_allreduce};
+use hammingmesh::hxcollect::allreduce::{
+    disjoint_rings_allreduce, ring_allreduce, torus2d_allreduce,
+};
 use hammingmesh::hxcollect::logical::check_allreduce;
 use hammingmesh::hxcollect::rings::disjoint_hamiltonian_cycles;
 
@@ -25,9 +27,11 @@ fn bench_schedule_generation(c: &mut Criterion) {
 fn bench_hamiltonian_cycles(c: &mut Criterion) {
     let mut g = c.benchmark_group("hamiltonian");
     for (r, cc) in [(16usize, 8usize), (64, 8), (128, 16)] {
-        g.bench_with_input(BenchmarkId::new("disjoint", r * cc), &(r, cc), |b, &(r, cc)| {
-            b.iter(|| disjoint_hamiltonian_cycles(r, cc).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("disjoint", r * cc),
+            &(r, cc),
+            |b, &(r, cc)| b.iter(|| disjoint_hamiltonian_cycles(r, cc).unwrap()),
+        );
     }
     g.finish();
 }

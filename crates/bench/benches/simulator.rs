@@ -2,8 +2,8 @@
 //! end-to-end collective runs on small topologies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hammingmesh::prelude::*;
 use hammingmesh::hxsim::apps::{Alltoall, UniformRandom};
+use hammingmesh::prelude::*;
 
 fn bench_alltoall(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_alltoall");
@@ -24,7 +24,12 @@ fn bench_alltoall(c: &mut Criterion) {
 }
 
 fn bench_event_rate(c: &mut Criterion) {
-    let net = TorusParams { cols: 8, rows: 8, board: 2 }.build();
+    let net = TorusParams {
+        cols: 8,
+        rows: 8,
+        board: 2,
+    }
+    .build();
     c.bench_function("sim_uniform_random_64", |b| {
         b.iter(|| {
             let mut app = UniformRandom::new(net.num_ranks(), 32 << 10, 4, 1);

@@ -1,23 +1,35 @@
 //! Criterion benchmarks of topology construction and routing-table builds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hammingmesh::prelude::*;
 use hammingmesh::hxnet::route::ZeroLoad;
+use hammingmesh::prelude::*;
 use rand::SeedableRng;
 
 fn bench_builders(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
-    g.bench_function("hx2mesh_16x16", |b| b.iter(|| HxMeshParams::small_hx2().build()));
-    g.bench_function("hx4mesh_8x8", |b| b.iter(|| HxMeshParams::small_hx4().build()));
-    g.bench_function("fat_tree_1k", |b| b.iter(|| FatTreeParams::small_nonblocking().build()));
-    g.bench_function("dragonfly_1k", |b| b.iter(|| DragonflyParams::small().build()));
+    g.bench_function("hx2mesh_16x16", |b| {
+        b.iter(|| HxMeshParams::small_hx2().build())
+    });
+    g.bench_function("hx4mesh_8x8", |b| {
+        b.iter(|| HxMeshParams::small_hx4().build())
+    });
+    g.bench_function("fat_tree_1k", |b| {
+        b.iter(|| FatTreeParams::small_nonblocking().build())
+    });
+    g.bench_function("dragonfly_1k", |b| {
+        b.iter(|| DragonflyParams::small().build())
+    });
     g.bench_function("torus_1k", |b| b.iter(|| TorusParams::small().build()));
     g.finish();
 }
 
 fn bench_routing_walks(c: &mut Criterion) {
     let mut g = c.benchmark_group("route_walk");
-    for choice in [TopologyChoice::Hx2Mesh, TopologyChoice::FatTree, TopologyChoice::Torus] {
+    for choice in [
+        TopologyChoice::Hx2Mesh,
+        TopologyChoice::FatTree,
+        TopologyChoice::Torus,
+    ] {
         let net = choice.build_scaled(256);
         g.bench_with_input(BenchmarkId::new("pairs", choice.name()), &net, |b, net| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -25,8 +37,7 @@ fn bench_routing_walks(c: &mut Criterion) {
                 use rand::Rng;
                 let n = net.num_ranks();
                 let (s, d) = (rng.random_range(0..n), (rng.random_range(1..n)));
-                let (mut node, dst) =
-                    (net.endpoints[s], net.endpoints[(s + d) % n]);
+                let (mut node, dst) = (net.endpoints[s], net.endpoints[(s + d) % n]);
                 let mut vc = 0u8;
                 let mut hops = 0u32;
                 let mut cand = Vec::new();

@@ -34,7 +34,8 @@ fn main() {
          GPT-3 MoE 52.2/73.8/58.3/63.3; DLRM 2.96/3.12/2.97/3.00 ms."
     );
 
-    header("scaled GPT-3 iteration on the packet simulator");
+    let engine = args.engine();
+    header(&format!("scaled GPT-3 iteration on the {engine} simulator"));
     let w = DnnWorkload::gpt3();
     let mut cfg = ScaledConfig::fit(&w, if args.full { 64 } else { 16 });
     cfg.bytes_scale = if args.full { 0.01 } else { 0.002 };
@@ -49,12 +50,25 @@ fn main() {
     );
     let nets: Vec<(&str, Network)> = vec![
         ("Hx2Mesh", HxMeshParams::square(2, 2).build()),
-        ("2D torus", TorusParams { cols: 4, rows: 4, board: 2 }.build()),
-        ("fat tree", FatTreeParams::scaled_nonblocking(16, 16).build()),
+        (
+            "2D torus",
+            TorusParams {
+                cols: 4,
+                rows: 4,
+                board: 2,
+            }
+            .build(),
+        ),
+        (
+            "fat tree",
+            FatTreeParams::scaled_nonblocking(16, 16).build(),
+        ),
     ];
     for (name, net) in &nets {
         let mut app = ScheduleApp::new(&sched);
-        let stats = timed(name, || Engine::new(net, SimConfig::default()).run(&mut app));
+        let stats = timed(name, || {
+            simulate(net, SimConfig::default(), engine, &mut app)
+        });
         println!(
             "{:<10} iteration {:>8.3} ms  ({} events, clean={})",
             name,

@@ -16,7 +16,9 @@ fn main() {
         ("Hx4Large (32x32)", 32, 32, &[0, 25, 50, 75, 100]),
     ];
 
-    header(&format!("Fig. 10 — utilization vs failed boards, {traces} traces"));
+    header(&format!(
+        "Fig. 10 — utilization vs failed boards, {traces} traces"
+    ));
     for &(label, x, y, failures) in meshes {
         if !args.full && x == 64 {
             continue; // large Hx2 sweep is slow at default settings
@@ -26,7 +28,10 @@ fn main() {
                 "\n{label} ({} jobs):",
                 if sorted { "sorted" } else { "unsorted" }
             );
-            println!("{:>10} {:>8} {:>8} {:>8}", "failures", "mean%", "med%", "p1%");
+            println!(
+                "{:>10} {:>8} {:>8} {:>8}",
+                "failures", "mean%", "med%", "p1%"
+            );
             for &f in failures {
                 let d = timed(&format!("{label} f={f}"), || {
                     fig10_failures(x, y, f, traces, sorted, args.seed)

@@ -6,28 +6,38 @@ use hxbench::{fmt_bytes, header, timed, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    // Quick scale is 64 endpoints: 256 takes minutes of packet simulation
-    // per size (the harness contract is "quick finishes in seconds"); the
-    // qualitative cut-bandwidth ordering is already visible at 64.
+    let engine = args.engine();
+    // Quick scale is 64 endpoints (the qualitative cut-bandwidth ordering
+    // is already visible there), but the sizes span the paper's full
+    // Fig. 11 axis up to 1 MiB: the flow engine's cost is independent of
+    // message size, so quick mode no longer has to stop at 128 KiB the
+    // way the packet engine forced it to (`--engine packet` on this sweep
+    // is the perf-smoke baseline recorded in BENCH_sim.json).
     let n = if args.full { 1024 } else { 64 };
     let sizes: &[u64] = if args.full {
         &[8 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20]
     } else {
-        &[8 << 10, 32 << 10, 128 << 10]
+        &[32 << 10, 256 << 10, 1 << 20]
     };
 
-    header(&format!("Fig. 11 — alltoall bandwidth vs message size ({n} endpoints)"));
+    header(&format!(
+        "Fig. 11 — alltoall bandwidth vs message size ({n} endpoints, {engine} engine)"
+    ));
     print!("{:<24}", "topology");
     for &s in sizes {
         print!(" {:>10}", fmt_bytes(s));
     }
     println!();
     for choice in TopologyChoice::all() {
-        let net = if args.full { choice.build_small() } else { choice.build_scaled(n) };
+        let net = if args.full {
+            choice.build_small()
+        } else {
+            choice.build_scaled(n)
+        };
         print!("{:<24}", choice.name());
         for &s in sizes {
             let m = timed(&format!("{} {}", choice.name(), fmt_bytes(s)), || {
-                experiments::alltoall_bandwidth(&net, s, 2)
+                experiments::alltoall_bandwidth_on(&net, s, 2, engine)
             });
             print!(
                 " {:>9.1}%{}",

@@ -14,10 +14,13 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let engine = args.engine();
     let n = if args.full { 1024 } else { 256 };
     let bytes = if args.full { 1 << 20 } else { 256 << 10 };
 
-    header(&format!("Fig. 12 — permutation receive-bandwidth distribution ({n} endpoints)"));
+    header(&format!(
+        "Fig. 12 — permutation receive-bandwidth distribution ({n} endpoints, {engine} engine)"
+    ));
     println!(
         "{:<24} {:>8} {:>8} {:>8} {:>8} {:>14}",
         "topology", "p10%", "median%", "p90%", "mean%", "cost/avgBW"
@@ -25,9 +28,13 @@ fn main() {
     let costs = hammingmesh::hxcost::table2_entries(ClusterSize::Small);
     let mut ft_cost_per_bw = None;
     for (i, choice) in TopologyChoice::all().into_iter().enumerate() {
-        let net = if args.full { choice.build_small() } else { choice.build_scaled(n) };
+        let net = if args.full {
+            choice.build_small()
+        } else {
+            choice.build_scaled(n)
+        };
         let mut bw = timed(choice.name(), || {
-            experiments::permutation_bandwidths(&net, bytes, 2, args.seed)
+            experiments::permutation_bandwidths_on(&net, bytes, 2, args.seed, engine)
         });
         bw.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mean = bw.iter().sum::<f64>() / bw.len() as f64;

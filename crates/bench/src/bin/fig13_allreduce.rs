@@ -8,6 +8,7 @@ use hxbench::{fmt_bytes, header, timed, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let engine = args.engine();
     // Quick scale is 64 endpoints / <=4 MiB: the former 256-endpoint,
     // 16 MiB quick config ran for minutes in the packet simulator, against
     // the harness contract that quick mode finishes in seconds.
@@ -19,7 +20,7 @@ fn main() {
     };
 
     header(&format!(
-        "Fig. 13/17 — allreduce bandwidth (share of peak), {n} endpoints"
+        "Fig. 13/17 — allreduce bandwidth (share of peak), {n} endpoints, {engine} engine"
     ));
     for algo in [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D] {
         println!("\nalgorithm: {algo:?}");
@@ -29,12 +30,17 @@ fn main() {
         }
         println!();
         for choice in TopologyChoice::all() {
-            let net = if args.full { choice.build_small() } else { choice.build_scaled(n) };
+            let net = if args.full {
+                choice.build_small()
+            } else {
+                choice.build_scaled(n)
+            };
             print!("{:<24}", choice.name());
             for &s in sizes {
-                let m = timed(&format!("{} {:?} {}", choice.name(), algo, fmt_bytes(s)), || {
-                    experiments::allreduce_bandwidth(&net, algo, s)
-                });
+                let m = timed(
+                    &format!("{} {:?} {}", choice.name(), algo, fmt_bytes(s)),
+                    || experiments::allreduce_bandwidth_on(&net, algo, s, engine),
+                );
                 print!(
                     " {:>9.1}%{}",
                     m.bw_fraction * 100.0,

@@ -5,12 +5,16 @@
 use hammingmesh::hxcollect::rings::{
     disjoint_hamiltonian_cycles, validate_cycle, validate_disjoint,
 };
-use hxbench::header;
+use hxbench::{header, HarnessArgs};
 use std::collections::HashSet;
 
 fn main() {
+    // No simulation here, but parse for the uniform figure-binary CLI.
+    let _args = HarnessArgs::parse();
     for (r, c) in [(4usize, 4usize), (8, 4), (9, 3), (16, 8)] {
-        header(&format!("Fig. 16 — disjoint Hamiltonian cycles on {r}x{c} torus"));
+        header(&format!(
+            "Fig. 16 — disjoint Hamiltonian cycles on {r}x{c} torus"
+        ));
         let (green, red) = disjoint_hamiltonian_cycles(r, c).expect("feasible size");
         validate_cycle(&green, r, c).unwrap();
         validate_cycle(&red, r, c).unwrap();

@@ -24,12 +24,19 @@ fn main() {
         ]
     };
 
-    header(&format!("Fig. 8 — system utilization, {traces} traces per point"));
+    header(&format!(
+        "Fig. 8 — system utilization, {traces} traces per point"
+    ));
     for &(label, x, y) in meshes {
         println!("\n{label}:");
-        println!("{:<44} {:>7} {:>7} {:>7}", "strategy", "mean%", "med%", "p99%");
+        println!(
+            "{:<44} {:>7} {:>7} {:>7}",
+            "strategy", "mean%", "med%", "p99%"
+        );
         for strat in fig8_strategies() {
-            let d = timed(strat.name, || fig8_utilization(x, y, traces, strat, args.seed));
+            let d = timed(strat.name, || {
+                fig8_utilization(x, y, traces, strat, args.seed)
+            });
             println!(
                 "{:<44} {:>6.1} {:>6.1} {:>6.1}",
                 strat.name,

@@ -9,16 +9,24 @@ fn main() {
     let args = HarnessArgs::parse();
     let traces = args.traces.unwrap_or(if args.full { 200 } else { 30 });
 
-    let meshes: &[(&str, usize, usize)] =
-        &[("Large 64x64 Hx2Mesh", 64, 64), ("Large 32x32 Hx4Mesh", 32, 32)];
+    let meshes: &[(&str, usize, usize)] = &[
+        ("Large 64x64 Hx2Mesh", 64, 64),
+        ("Large 32x32 Hx4Mesh", 32, 32),
+    ];
 
-    header(&format!("Fig. 9 — upper-layer traffic share, {traces} traces"));
+    header(&format!(
+        "Fig. 9 — upper-layer traffic share, {traces} traces"
+    ));
     for &(label, x, y) in meshes {
         println!("\n{label}:");
-        println!("{:<44} {:>12} {:>12}", "strategy", "alltoall%", "allreduce%");
+        println!(
+            "{:<44} {:>12} {:>12}",
+            "strategy", "alltoall%", "allreduce%"
+        );
         for strat in fig8_strategies() {
-            let (a2a, ar) =
-                timed(strat.name, || fig9_upper_traffic(x, y, traces, strat, args.seed));
+            let (a2a, ar) = timed(strat.name, || {
+                fig9_upper_traffic(x, y, traces, strat, args.seed)
+            });
             println!(
                 "{:<44} {:>11.1} {:>11.1}",
                 strat.name,

@@ -1,0 +1,202 @@
+//! CI perf-smoke harness: runs the Fig. 11 (alltoall) and Fig. 13
+//! (allreduce) headline scenarios at quick scale on **both** simulation
+//! backends, records wall-clock and simulated time to `BENCH_sim.json`,
+//! and emits the figure sweeps as CSV artifacts (flow engine, so the
+//! sweep stays cheap even in CI).
+//!
+//! ```sh
+//! perf_smoke --out bench-artifacts
+//! ```
+//!
+//! The JSON doubles as the PR-level perf gate: the recorded
+//! `wall_speedup` documents how much faster the flow-level fast path is
+//! than the packet engine on the same scenario.
+
+use hammingmesh::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct EngineRun {
+    wall_s: f64,
+    sim_ps: u64,
+    bw_fraction: f64,
+    clean: bool,
+}
+
+fn run_both(mut f: impl FnMut(EngineKind) -> Measurement) -> (EngineRun, EngineRun) {
+    let mut one = |engine| {
+        let t0 = Instant::now();
+        let m = f(engine);
+        EngineRun {
+            wall_s: t0.elapsed().as_secs_f64(),
+            sim_ps: m.time_ps,
+            bw_fraction: m.bw_fraction,
+            clean: m.clean,
+        }
+    };
+    (one(EngineKind::Packet), one(EngineKind::Flow))
+}
+
+fn json_scenario(out: &mut String, name: &str, desc: &str, packet: &EngineRun, flow: &EngineRun) {
+    let speedup = packet.wall_s / flow.wall_s.max(1e-9);
+    writeln!(out, "    \"{name}\": {{").unwrap();
+    writeln!(out, "      \"scenario\": \"{desc}\",").unwrap();
+    for (engine, r) in [("packet", packet), ("flow", flow)] {
+        writeln!(
+            out,
+            "      \"{engine}\": {{\"wall_s\": {:.4}, \"sim_ps\": {}, \"bw_fraction\": {:.4}, \"clean\": {}}},",
+            r.wall_s, r.sim_ps, r.bw_fraction, r.clean
+        )
+        .unwrap();
+    }
+    writeln!(out, "      \"wall_speedup\": {speedup:.1}").unwrap();
+    out.push_str("    }");
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from(".");
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a directory")),
+            // Shrink the packet-engine scenarios so the binary stays fast
+            // under the debug profile (the smoke tests run it this way);
+            // CI's perf job runs the full release version.
+            "--quick" => quick = true,
+            // Accepted for smoke-test CLI uniformity.
+            "--traces" | "--seed" => {
+                let _ = it.next();
+            }
+            "--help" | "-h" => {
+                eprintln!("options: --out DIR  --quick");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Headline scenarios: quick topology scale (Hx2Mesh, 64 endpoints)
+    // at the paper's headline message sizes — the largest size of the
+    // Fig. 11 axis (1 MiB alltoall) and of the Fig. 13 axis (64 MiB
+    // allreduce). This is the regime the flow engine exists for: packet
+    // cost grows with bytes, flow cost does not.
+    let (a2a_bytes, ar_bytes): (u64, u64) = if quick {
+        (128 << 10, 4 << 20)
+    } else {
+        (1 << 20, 64 << 20)
+    };
+    let net = TopologyChoice::Hx2Mesh.build_scaled(64);
+    eprintln!("[perf_smoke] fig11_alltoall scenario on {}", net.name);
+    let (a2a_packet, a2a_flow) =
+        run_both(|engine| experiments::alltoall_bandwidth_on(&net, a2a_bytes, 2, engine));
+    eprintln!(
+        "[perf_smoke] alltoall packet {:.2}s / flow {:.2}s -> {:.0}x",
+        a2a_packet.wall_s,
+        a2a_flow.wall_s,
+        a2a_packet.wall_s / a2a_flow.wall_s.max(1e-9)
+    );
+    eprintln!("[perf_smoke] fig13_allreduce scenario on {}", net.name);
+    let (ar_packet, ar_flow) = run_both(|engine| {
+        experiments::allreduce_bandwidth_on(&net, AllreduceAlgo::DisjointRings, ar_bytes, engine)
+    });
+    eprintln!(
+        "[perf_smoke] allreduce packet {:.2}s / flow {:.2}s -> {:.0}x",
+        ar_packet.wall_s,
+        ar_flow.wall_s,
+        ar_packet.wall_s / ar_flow.wall_s.max(1e-9)
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"perf_smoke\",\n");
+    json.push_str(if quick {
+        "  \"scale\": \"reduced (--quick)\",\n"
+    } else {
+        "  \"scale\": \"quick\",\n"
+    });
+    json.push_str("  \"scenarios\": {\n");
+    json_scenario(
+        &mut json,
+        "fig11_alltoall",
+        &format!(
+            "balanced-shift alltoall, {}/pair, Hx2Mesh 64 endpoints",
+            hxbench::fmt_bytes(a2a_bytes)
+        ),
+        &a2a_packet,
+        &a2a_flow,
+    );
+    json.push_str(",\n");
+    json_scenario(
+        &mut json,
+        "fig13_allreduce",
+        &format!(
+            "disjoint-rings allreduce, {}/rank, Hx2Mesh 64 endpoints",
+            hxbench::fmt_bytes(ar_bytes)
+        ),
+        &ar_packet,
+        &ar_flow,
+    );
+    json.push_str("\n  }\n}\n");
+    let json_path = out_dir.join("BENCH_sim.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_sim.json");
+    eprintln!("[perf_smoke] wrote {}", json_path.display());
+
+    // Figure sweeps as CSV artifacts, on the flow engine (cheap).
+    let sizes_a2a: &[u64] = if quick {
+        &[32 << 10]
+    } else {
+        &[32 << 10, 256 << 10, 1 << 20]
+    };
+    let mut csv = String::from("topology,engine,bytes,bw_fraction,sim_ps,clean\n");
+    for choice in TopologyChoice::all() {
+        let net = choice.build_scaled(64);
+        for &s in sizes_a2a {
+            let m = experiments::alltoall_bandwidth_on(&net, s, 2, EngineKind::Flow);
+            writeln!(
+                csv,
+                "{},flow,{},{:.4},{},{}",
+                choice.name(),
+                s,
+                m.bw_fraction,
+                m.time_ps,
+                m.clean
+            )
+            .unwrap();
+        }
+    }
+    let p = out_dir.join("fig11_alltoall.csv");
+    std::fs::write(&p, &csv).expect("write fig11 csv");
+    eprintln!("[perf_smoke] wrote {}", p.display());
+
+    let sizes_ar: &[u64] = if quick {
+        &[256 << 10]
+    } else {
+        &[256 << 10, 1 << 20, 4 << 20]
+    };
+    let mut csv = String::from("topology,engine,algorithm,bytes,bw_fraction,sim_ps,clean\n");
+    for choice in TopologyChoice::all() {
+        let net = choice.build_scaled(64);
+        for algo in [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D] {
+            for &s in sizes_ar {
+                let m = experiments::allreduce_bandwidth_on(&net, algo, s, EngineKind::Flow);
+                writeln!(
+                    csv,
+                    "{},flow,{:?},{},{:.4},{},{}",
+                    choice.name(),
+                    algo,
+                    s,
+                    m.bw_fraction,
+                    m.time_ps,
+                    m.clean
+                )
+                .unwrap();
+            }
+        }
+    }
+    let p = out_dir.join("fig13_allreduce.csv");
+    std::fs::write(&p, &csv).expect("write fig13 csv");
+    eprintln!("[perf_smoke] wrote {}", p.display());
+}

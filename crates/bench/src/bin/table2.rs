@@ -17,7 +17,10 @@ fn main() {
         "{:<24} {:>10} {:>10} {:>6}   {:>10} {:>10} {:>6}",
         "topology", "cost[M$]", "paper", "diam", "cost[M$]", "paper", "diam"
     );
-    println!("{:<24} {:>28}   {:>28}", "", "— small cluster —", "— large cluster —");
+    println!(
+        "{:<24} {:>28}   {:>28}",
+        "", "— small cluster —", "— large cluster —"
+    );
     let small = hammingmesh::hxcost::table2_entries(ClusterSize::Small);
     let large = hammingmesh::hxcost::table2_entries(ClusterSize::Large);
     for (s, l) in small.iter().zip(&large) {
@@ -36,7 +39,11 @@ fn main() {
     // Quick scale is 64 endpoints / 128 KiB base message: 256 endpoints of
     // packet simulation across 8 topologies takes minutes (the harness
     // contract is "quick finishes in seconds").
-    let (n, msg) = if args.full { (1024usize, 1u64 << 20) } else { (64, 128 << 10) };
+    let (n, msg) = if args.full {
+        (1024usize, 1u64 << 20)
+    } else {
+        (64, 128 << 10)
+    };
     header(&format!(
         "Table II — simulated bandwidths ({n} endpoints, {} messages)",
         fmt_bytes(msg)
@@ -46,23 +53,27 @@ fn main() {
         "topology", "glob.BW[%inj]", "ared.BW[%peak]"
     );
     for choice in TopologyChoice::all() {
-        let net = if args.full { choice.build_small() } else { choice.build_scaled(n) };
+        let net = if args.full {
+            choice.build_small()
+        } else {
+            choice.build_scaled(n)
+        };
         let a2a = timed(&format!("{} alltoall", choice.name()), || {
             experiments::alltoall_bandwidth(&net, msg / 16, 2)
         });
         let ar = timed(&format!("{} allreduce", choice.name()), || {
-            experiments::allreduce_bandwidth(
-                &net,
-                AllreduceAlgo::DisjointRings,
-                msg * 32,
-            )
+            experiments::allreduce_bandwidth(&net, AllreduceAlgo::DisjointRings, msg * 32)
         });
         println!(
             "{:<24} {:>13.1}% {:>13.1}%{}",
             choice.name(),
             a2a.bw_fraction * 100.0,
             ar.bw_fraction * 100.0,
-            if a2a.clean && ar.clean { "" } else { "  [INCOMPLETE RUN]" }
+            if a2a.clean && ar.clean {
+                ""
+            } else {
+                "  [INCOMPLETE RUN]"
+            }
         );
     }
     println!(

@@ -5,6 +5,7 @@
 //! reports. By default they run at a reduced scale that finishes in
 //! seconds; pass `--full` for the paper-scale configuration (hours).
 
+use hammingmesh::hxsim::EngineKind;
 use std::time::Instant;
 
 /// Parsed command line shared by the figure binaries.
@@ -16,12 +17,19 @@ pub struct HarnessArgs {
     pub traces: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Simulation backend override (`--engine packet|flow`).
+    pub engine: Option<EngineKind>,
 }
 
 impl HarnessArgs {
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut out = Self { full: false, traces: None, seed: 0xC0FFEE };
+        let mut out = Self {
+            full: false,
+            traces: None,
+            seed: 0xC0FFEE,
+            engine: None,
+        };
         let mut it = args.iter().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -32,14 +40,37 @@ impl HarnessArgs {
                 "--seed" => {
                     out.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(out.seed);
                 }
+                "--engine" => match it.next().map(|v| v.parse::<EngineKind>()) {
+                    Some(Ok(e)) => out.engine = Some(e),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--engine needs a value (packet|flow)");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
-                    eprintln!("options: --full  --traces N  --seed S");
+                    eprintln!("options: --full  --traces N  --seed S  --engine packet|flow");
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
         }
         out
+    }
+
+    /// The simulation backend to use: an explicit `--engine` wins;
+    /// otherwise the figure binaries default to the flow-level fast path
+    /// at every scale — it is what makes the paper-size message sweeps
+    /// affordable (quick included, now that quick configs span the
+    /// paper's MiB-sized messages), and it is mandatory at `--full`
+    /// scale. Pass `--engine packet` for packet-level validation runs;
+    /// the cross-validation suite (`tests/flow_vs_packet.rs`) pins the
+    /// agreement between the two.
+    pub fn engine(&self) -> EngineKind {
+        self.engine.unwrap_or(EngineKind::Flow)
     }
 }
 

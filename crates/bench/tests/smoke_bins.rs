@@ -45,3 +45,30 @@ smoke!(
     ablations,
     dnn_iteration_times,
 );
+
+/// The CI perf-smoke harness must run and emit its three artifacts.
+#[test]
+fn perf_smoke() {
+    let dir = std::env::temp_dir().join(format!("hx_perf_smoke_{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_smoke"))
+        .args(["--quick", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn perf_smoke");
+    assert!(
+        out.status.success(),
+        "perf_smoke exited with {:?}\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [
+        "BENCH_sim.json",
+        "fig11_alltoall.csv",
+        "fig13_allreduce.csv",
+    ] {
+        let p = dir.join(f);
+        assert!(p.exists(), "missing artifact {}", p.display());
+    }
+    let json = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
+    assert!(json.contains("\"fig11_alltoall\"") && json.contains("\"wall_speedup\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

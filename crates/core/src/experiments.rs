@@ -8,9 +8,13 @@ use hxcollect::model;
 use hxcollect::simapp::ScheduleApp;
 use hxnet::Network;
 use hxsim::apps::{Alltoall, Permutation};
-use hxsim::{Engine, SimConfig};
+use hxsim::{simulate, EngineKind, SimConfig};
 
-/// Outcome of a bandwidth measurement on the packet simulator.
+/// Outcome of a bandwidth measurement on the simulator. Produced by
+/// either backend: the plain drivers run the packet engine, the `*_on`
+/// variants run whichever [`EngineKind`] they are given (figure binaries
+/// default to the flow fast path — see `tests/flow_vs_packet.rs` for the
+/// agreement bands between the two).
 #[derive(Clone, Copy, Debug)]
 pub struct Measurement {
     /// Simulated completion time (ps).
@@ -49,8 +53,18 @@ fn near_square_grid(n: usize) -> (usize, usize) {
 }
 
 /// Run one allreduce of `bytes` per rank over the whole machine and report
-/// the achieved fraction of the theoretical optimum.
+/// the achieved fraction of the theoretical optimum (packet engine).
 pub fn allreduce_bandwidth(net: &Network, algo: AllreduceAlgo, bytes: u64) -> Measurement {
+    allreduce_bandwidth_on(net, algo, bytes, EngineKind::Packet)
+}
+
+/// [`allreduce_bandwidth`] on an explicitly chosen simulation backend.
+pub fn allreduce_bandwidth_on(
+    net: &Network,
+    algo: AllreduceAlgo,
+    bytes: u64,
+    engine: EngineKind,
+) -> Measurement {
     let p = net.num_ranks();
     let elems = (bytes / hxcollect::ELEM_BYTES).max(p as u64 * 4) as usize;
     let sched = match algo {
@@ -63,7 +77,7 @@ pub fn allreduce_bandwidth(net: &Network, algo: AllreduceAlgo, bytes: u64) -> Me
         }
     };
     let mut app = ScheduleApp::new(&sched);
-    let stats = Engine::new(net, SimConfig::default()).run(&mut app);
+    let stats = simulate(net, SimConfig::default(), engine, &mut app);
     let s_bytes = elems as u64 * hxcollect::ELEM_BYTES;
     let inj = net.injection_bytes_per_ps(0);
     Measurement {
@@ -80,11 +94,21 @@ fn disjoint_rings_allreduce_grid(p: usize, elems: usize) -> hxcollect::Schedule 
 }
 
 /// Balanced-shift alltoall of `bytes` per pair (§V-A1a); reports the share
-/// of injection bandwidth sustained.
+/// of injection bandwidth sustained (packet engine).
 pub fn alltoall_bandwidth(net: &Network, bytes: u64, window: u32) -> Measurement {
+    alltoall_bandwidth_on(net, bytes, window, EngineKind::Packet)
+}
+
+/// [`alltoall_bandwidth`] on an explicitly chosen simulation backend.
+pub fn alltoall_bandwidth_on(
+    net: &Network,
+    bytes: u64,
+    window: u32,
+    engine: EngineKind,
+) -> Measurement {
     let p = net.num_ranks();
     let mut app = Alltoall::new(p, bytes, window);
-    let stats = Engine::new(net, SimConfig::default()).run(&mut app);
+    let stats = simulate(net, SimConfig::default(), engine, &mut app);
     let per_rank = app.bytes_per_rank();
     let inj = net.injection_bytes_per_ps(0);
     Measurement {
@@ -96,11 +120,22 @@ pub fn alltoall_bandwidth(net: &Network, bytes: u64, window: u32) -> Measurement
 }
 
 /// Random-permutation traffic (§V-A1b): per-accelerator receive bandwidth
-/// distribution in fractions of injection bandwidth.
+/// distribution in fractions of injection bandwidth (packet engine).
 pub fn permutation_bandwidths(net: &Network, bytes: u64, rounds: u32, seed: u64) -> Vec<f64> {
+    permutation_bandwidths_on(net, bytes, rounds, seed, EngineKind::Packet)
+}
+
+/// [`permutation_bandwidths`] on an explicitly chosen simulation backend.
+pub fn permutation_bandwidths_on(
+    net: &Network,
+    bytes: u64,
+    rounds: u32,
+    seed: u64,
+    engine: EngineKind,
+) -> Vec<f64> {
     let p = net.num_ranks();
     let mut app = Permutation::new(p, bytes, rounds, seed);
-    let stats = Engine::new(net, SimConfig::default()).run(&mut app);
+    let stats = simulate(net, SimConfig::default(), engine, &mut app);
     assert!(stats.clean(), "permutation run did not complete");
     let inj = net.injection_bytes_per_ps(0);
     stats
@@ -131,7 +166,11 @@ mod tests {
         let m1 = allreduce_bandwidth(&net, AllreduceAlgo::Ring, 8 << 20);
         assert!(m1.clean);
         assert!(m1.bw_fraction < m.bw_fraction);
-        assert!(m1.bw_fraction < 0.55, "uni ring fraction {:.3}", m1.bw_fraction);
+        assert!(
+            m1.bw_fraction < 0.55,
+            "uni ring fraction {:.3}",
+            m1.bw_fraction
+        );
     }
 
     #[test]
@@ -151,7 +190,12 @@ mod tests {
     #[test]
     fn torus_alltoall_is_much_worse_than_hxmesh() {
         let hx = HxMeshParams::square(2, 4).build();
-        let torus = TorusParams { cols: 8, rows: 8, board: 2 }.build();
+        let torus = TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
         let mh = alltoall_bandwidth(&hx, 32 << 10, 2);
         let mt = alltoall_bandwidth(&torus, 32 << 10, 2);
         assert!(mh.clean && mt.clean);
@@ -169,5 +213,27 @@ mod tests {
         let bw = permutation_bandwidths(&net, 128 << 10, 2, 42);
         assert_eq!(bw.len(), 16);
         assert!(bw.iter().all(|&b| b > 0.0 && b <= 1.01));
+    }
+
+    #[test]
+    fn flow_engine_reproduces_the_alltoall_ordering() {
+        // The qualitative Fig. 1 result must not depend on the backend:
+        // HxMesh beats the torus on alltoall under the flow engine too.
+        let hx = HxMeshParams::square(2, 4).build();
+        let torus = TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
+        let mh = alltoall_bandwidth_on(&hx, 32 << 10, 2, EngineKind::Flow);
+        let mt = alltoall_bandwidth_on(&torus, 32 << 10, 2, EngineKind::Flow);
+        assert!(mh.clean && mt.clean);
+        assert!(
+            mt.bw_fraction < mh.bw_fraction,
+            "torus {:.3} !< hxmesh {:.3}",
+            mt.bw_fraction,
+            mh.bw_fraction
+        );
     }
 }

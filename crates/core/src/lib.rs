@@ -45,5 +45,5 @@ pub mod prelude {
     pub use hxnet::hyperx::HyperXParams;
     pub use hxnet::torus::TorusParams;
     pub use hxnet::Network;
-    pub use hxsim::{Engine, SimConfig};
+    pub use hxsim::{simulate, Engine, EngineKind, FlowEngine, SimConfig};
 }

@@ -24,7 +24,9 @@ pub enum TopologyChoice {
 impl TopologyChoice {
     pub fn all() -> [TopologyChoice; 8] {
         use TopologyChoice::*;
-        [FatTree, FatTree50, FatTree75, Dragonfly, HyperX, Hx2Mesh, Hx4Mesh, Torus]
+        [
+            FatTree, FatTree50, FatTree75, Dragonfly, HyperX, Hx2Mesh, Hx4Mesh, Torus,
+        ]
     }
 
     pub fn name(self) -> &'static str {
@@ -59,13 +61,22 @@ impl TopologyChoice {
     /// mirror the paper's proportions: Hx2 uses an (√n/2)² board grid etc.
     pub fn build_scaled(self, n: usize) -> Network {
         let side = (n as f64).sqrt().round() as usize;
-        assert_eq!(side * side, n, "scaled builds need a square accelerator count");
+        assert_eq!(
+            side * side,
+            n,
+            "scaled builds need a square accelerator count"
+        );
         match self {
             TopologyChoice::FatTree => FatTreeParams::scaled_nonblocking(n, 64).build(),
             TopologyChoice::FatTree50 => FatTreeParams::scaled_tapered(n, 64, 0.5).build(),
             TopologyChoice::FatTree75 => FatTreeParams::scaled_tapered(n, 64, 0.75).build(),
             TopologyChoice::Dragonfly => DragonflyParams::scaled(n).build(),
-            TopologyChoice::HyperX => HyperXParams { x: side, y: side, radix: 64 }.build(),
+            TopologyChoice::HyperX => HyperXParams {
+                x: side,
+                y: side,
+                radix: 64,
+            }
+            .build(),
             TopologyChoice::Hx2Mesh => {
                 assert_eq!(side % 2, 0, "Hx2 needs an even side");
                 HxMeshParams::square(2, side / 2).build()
@@ -74,7 +85,12 @@ impl TopologyChoice {
                 assert_eq!(side % 4, 0, "Hx4 needs side divisible by 4");
                 HxMeshParams::square(4, side / 4).build()
             }
-            TopologyChoice::Torus => TorusParams { cols: side, rows: side, board: 2 }.build(),
+            TopologyChoice::Torus => TorusParams {
+                cols: side,
+                rows: side,
+                board: 2,
+            }
+            .build(),
         }
     }
 }

@@ -23,17 +23,37 @@ pub struct Strategy {
 
 /// The six stacks of Fig. 8, in legend order.
 pub fn fig8_strategies() -> Vec<Strategy> {
-    let h = |transpose, aspect, locality| Heuristics { transpose, aspect, locality };
+    let h = |transpose, aspect, locality| Heuristics {
+        transpose,
+        aspect,
+        locality,
+    };
     vec![
-        Strategy { heuristics: h(false, false, false), sort: false, name: "greedy" },
-        Strategy { heuristics: h(true, false, false), sort: false, name: "greedy+transpose" },
-        Strategy { heuristics: h(true, true, false), sort: false, name: "greedy+transpose+aspect" },
+        Strategy {
+            heuristics: h(false, false, false),
+            sort: false,
+            name: "greedy",
+        },
+        Strategy {
+            heuristics: h(true, false, false),
+            sort: false,
+            name: "greedy+transpose",
+        },
+        Strategy {
+            heuristics: h(true, true, false),
+            sort: false,
+            name: "greedy+transpose+aspect",
+        },
         Strategy {
             heuristics: h(true, true, true),
             sort: false,
             name: "greedy+transpose+aspect+locality",
         },
-        Strategy { heuristics: h(true, true, false), sort: true, name: "greedy+transpose+aspect+sort" },
+        Strategy {
+            heuristics: h(true, true, false),
+            sort: true,
+            name: "greedy+transpose+aspect+sort",
+        },
         Strategy {
             heuristics: h(true, true, true),
             sort: true,
@@ -77,11 +97,7 @@ impl Distribution {
 
 /// Allocate one job mix on a fresh or pre-failed mesh; returns the final
 /// mesh (with per-job placements) and its utilization.
-pub fn allocate_mix(
-    mesh: &mut BoardMesh,
-    mix: &JobMix,
-    strat: Strategy,
-) -> f64 {
+pub fn allocate_mix(mesh: &mut BoardMesh, mix: &JobMix, strat: Strategy) -> f64 {
     let mut jobs: Vec<(usize, usize)> = mix.shapes.clone();
     if strat.sort {
         jobs.sort_by_key(|&(u, v)| std::cmp::Reverse(u * v));
@@ -97,12 +113,22 @@ pub fn allocate_mix(
 
 /// Fig. 8: utilization distribution of `traces` random job mixes on an
 /// `x` x `y` mesh under one strategy.
-pub fn fig8_utilization(x: usize, y: usize, traces: usize, strat: Strategy, seed: u64) -> Distribution {
+pub fn fig8_utilization(
+    x: usize,
+    y: usize,
+    traces: usize,
+    strat: Strategy,
+    seed: u64,
+) -> Distribution {
     let dist = JobSizeDistribution::for_cluster(x * y);
     let samples: Vec<f64> = (0..traces)
         .into_par_iter()
         .map(|t| {
-            let mix = JobMix::draw(&dist, x * y, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mix = JobMix::draw(
+                &dist,
+                x * y,
+                seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             let mut mesh = BoardMesh::new(x, y);
             allocate_mix(&mut mesh, &mix, strat)
         })
@@ -123,7 +149,11 @@ pub fn fig9_upper_traffic(
     let pairs: Vec<(f64, f64)> = (0..traces)
         .into_par_iter()
         .map(|t| {
-            let mix = JobMix::draw(&dist, x * y, seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mix = JobMix::draw(
+                &dist,
+                x * y,
+                seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             let mut mesh = BoardMesh::new(x, y);
             allocate_mix(&mut mesh, &mix, strat);
             let (mut a2a, mut ar, mut boards) = (0.0, 0.0, 0usize);
@@ -160,7 +190,11 @@ pub fn fig10_failures(
     seed: u64,
 ) -> Distribution {
     let strat = Strategy {
-        heuristics: Heuristics { transpose: true, aspect: true, locality: false },
+        heuristics: Heuristics {
+            transpose: true,
+            aspect: true,
+            locality: false,
+        },
         sort: sorted,
         name: if sorted { "sorted" } else { "unsorted" },
     };

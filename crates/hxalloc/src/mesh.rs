@@ -22,7 +22,9 @@ impl Placement {
 
     /// All (row, col) board coordinates of this placement.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.rows.iter().flat_map(move |&r| self.cols.iter().map(move |&c| (r, c)))
+        self.rows
+            .iter()
+            .flat_map(move |&r| self.cols.iter().map(move |&c| (r, c)))
     }
 }
 
@@ -54,7 +56,11 @@ impl Heuristics {
     }
 
     pub fn all() -> Self {
-        Self { transpose: true, aspect: true, locality: true }
+        Self {
+            transpose: true,
+            aspect: true,
+            locality: true,
+        }
     }
 }
 
@@ -76,7 +82,13 @@ pub const FAILED: JobId = JobId::MAX;
 
 impl BoardMesh {
     pub fn new(x: usize, y: usize) -> Self {
-        Self { x, y, state: vec![None; x * y], placements: HashMap::new(), leaf_span: 16 }
+        Self {
+            x,
+            y,
+            state: vec![None; x * y],
+            placements: HashMap::new(),
+            leaf_span: 16,
+        }
     }
 
     pub fn dims(&self) -> (usize, usize) {
@@ -96,7 +108,10 @@ impl BoardMesh {
     }
 
     pub fn allocated_boards(&self) -> usize {
-        self.state.iter().filter(|s| s.is_some() && **s != Some(FAILED)).count()
+        self.state
+            .iter()
+            .filter(|s| s.is_some() && **s != Some(FAILED))
+            .count()
     }
 
     /// Utilization over *working* boards (Fig. 10's y-axis).
@@ -129,7 +144,9 @@ impl BoardMesh {
 
     /// Free column indexes per row.
     fn free_cols(&self, row: usize) -> Vec<usize> {
-        (0..self.x).filter(|&c| self.state[row * self.x + c].is_none()).collect()
+        (0..self.x)
+            .filter(|&c| self.state[row * self.x + c].is_none())
+            .collect()
     }
 
     /// The §IV-A greedy core: find `u` rows whose free-column intersection
@@ -149,8 +166,11 @@ impl BoardMesh {
                 selected.push(row);
                 common = free;
             } else {
-                let inter: Vec<usize> =
-                    common.iter().copied().filter(|c| free.contains(c)).collect();
+                let inter: Vec<usize> = common
+                    .iter()
+                    .copied()
+                    .filter(|c| free.contains(c))
+                    .collect();
                 if inter.len() >= v {
                     selected.push(row);
                     common = inter;
@@ -200,7 +220,10 @@ impl BoardMesh {
         h: Heuristics,
     ) -> Result<Placement, AllocError> {
         assert!(u >= 1 && v >= 1);
-        assert!(!self.placements.contains_key(&job), "job {job} already placed");
+        assert!(
+            !self.placements.contains_key(&job),
+            "job {job} already placed"
+        );
         let shapes = self.shapes(u, v, h);
         if shapes.iter().all(|&(a, b)| a > self.y || b > self.x) {
             return Err(AllocError::TooLarge);
@@ -407,7 +430,10 @@ mod tests {
 
     impl Heuristics {
         pub fn transpose_only() -> Self {
-            Self { transpose: true, ..Self::default() }
+            Self {
+                transpose: true,
+                ..Self::default()
+            }
         }
     }
 
@@ -415,7 +441,10 @@ mod tests {
     fn transpose_rescues_tall_jobs() {
         let mut m = BoardMesh::new(8, 2);
         // 4x2 does not fit (only 2 rows); transposed 2x4 does.
-        assert_eq!(m.allocate(1, 4, 2, Heuristics::none()), Err(AllocError::TooLarge));
+        assert_eq!(
+            m.allocate(1, 4, 2, Heuristics::none()),
+            Err(AllocError::TooLarge)
+        );
         let p = m.allocate(1, 4, 2, Heuristics::transpose_only()).unwrap();
         assert_eq!((p.rows.len(), p.cols.len()), (2, 4));
     }
@@ -423,7 +452,11 @@ mod tests {
     #[test]
     fn aspect_reshapes_when_square_fails() {
         let mut m = BoardMesh::new(16, 1);
-        let h = Heuristics { aspect: true, transpose: true, locality: false };
+        let h = Heuristics {
+            aspect: true,
+            transpose: true,
+            locality: false,
+        };
         // 4x4 cannot fit in one row; 1x16 (aspect 16 > 8) is not allowed,
         // but 2x8 transposed... also impossible with y=1. Only 1x16 would
         // fit and it's beyond MAX_ASPECT, so this must fail.
@@ -459,7 +492,11 @@ mod tests {
         let mut m = BoardMesh::new(64, 2);
         // Occupy columns 0..8 of row 0 to push the naive choice around.
         m.allocate(7, 1, 8, Heuristics::none()).unwrap();
-        let h = Heuristics { locality: true, aspect: false, transpose: false };
+        let h = Heuristics {
+            locality: true,
+            aspect: false,
+            transpose: false,
+        };
         let p = m.allocate(1, 2, 8, h).unwrap();
         // All chosen columns should sit under one leaf (span 16):
         let t = m.upper_traffic_alltoall(&p.rows, &p.cols);

@@ -56,10 +56,19 @@ pub fn ring_reduce_scatter_on(
                 rank,
                 next,
                 tag_base + k as u64,
-                Payload::Segment { off: send_chunk.0, len: send_chunk.1 },
+                Payload::Segment {
+                    off: send_chunk.0,
+                    len: send_chunk.1,
+                },
                 deps,
             );
-            let r = s.recv(rank, prev, tag_base + k as u64, RecvAction::Reduce, entry[i].clone());
+            let r = s.recv(
+                rank,
+                prev,
+                tag_base + k as u64,
+                RecvAction::Reduce,
+                entry[i].clone(),
+            );
             last_recv[i] = Some(r);
         }
     }
@@ -97,10 +106,19 @@ pub fn ring_allgather_on(
                 rank,
                 next,
                 tag_base + k as u64,
-                Payload::Segment { off: send_chunk.0, len: send_chunk.1 },
+                Payload::Segment {
+                    off: send_chunk.0,
+                    len: send_chunk.1,
+                },
                 deps,
             );
-            let r = s.recv(rank, prev, tag_base + k as u64, RecvAction::Copy, Vec::new());
+            let r = s.recv(
+                rank,
+                prev,
+                tag_base + k as u64,
+                RecvAction::Copy,
+                Vec::new(),
+            );
             last_recv[i] = Some(r);
             last[i] = r;
         }
@@ -184,12 +202,7 @@ pub fn disjoint_rings_allreduce(r: usize, c: usize, n: usize) -> (Schedule, usiz
         (g, Some(red)) => {
             // Four quarters: green fwd/bwd, red fwd/bwd.
             let q = (n / 4) as u32;
-            let segs = [
-                (0, q),
-                (q, q),
-                (2 * q, q),
-                (3 * q, n as u32 - 3 * q),
-            ];
+            let segs = [(0, q), (q, q), (2 * q, q), (3 * q, n as u32 - 3 * q)];
             let gr: Vec<u32> = g.iter().rev().copied().collect();
             let rr: Vec<u32> = red.iter().rev().copied().collect();
             ring_allreduce_on(&mut s, &g, segs[0].0, segs[0].1, 0, &entry);
@@ -234,7 +247,11 @@ pub fn torus2d_allreduce(rows: usize, cols: usize, n: usize, doubled: bool) -> S
 fn torus2d_instance(rows: usize, cols: usize, off: u32, len: u32, transposed: bool) -> Schedule {
     let p = rows * cols;
     // Effective grid.
-    let (er, ec) = if transposed { (cols, rows) } else { (rows, cols) };
+    let (er, ec) = if transposed {
+        (cols, rows)
+    } else {
+        (rows, cols)
+    };
     let rank_of = |i: usize, j: usize| -> u32 {
         if transposed {
             (j * cols + i) as u32
@@ -273,8 +290,10 @@ fn torus2d_instance(rows: usize, cols: usize, off: u32, len: u32, transposed: bo
         let owned = ch[(j + 1) % ec];
         let order: Vec<u32> = (0..er).map(|i| rank_of(i, j)).collect();
         if er >= 2 && owned.1 > 0 {
-            let entry: Vec<Vec<u32>> =
-                order.iter().map(|&rk| rs_exit[rk as usize].clone()).collect();
+            let entry: Vec<Vec<u32>> = order
+                .iter()
+                .map(|&rk| rs_exit[rk as usize].clone())
+                .collect();
             let exits = ring_allreduce_on(
                 &mut s,
                 &order,
@@ -295,9 +314,18 @@ fn torus2d_instance(rows: usize, cols: usize, off: u32, len: u32, transposed: bo
     // Phase 3: per-row allgather.
     for i in 0..er {
         let order: Vec<u32> = (0..ec).map(|j| rank_of(i, j)).collect();
-        let entry: Vec<Vec<u32>> =
-            order.iter().map(|&rk| col_exit[rk as usize].clone()).collect();
-        ring_allgather_on(&mut s, &order, off, len, (2 << 32) | ((i as u64) << 16), &entry);
+        let entry: Vec<Vec<u32>> = order
+            .iter()
+            .map(|&rk| col_exit[rk as usize].clone())
+            .collect();
+        ring_allgather_on(
+            &mut s,
+            &order,
+            off,
+            len,
+            (2 << 32) | ((i as u64) << 16),
+            &entry,
+        );
     }
     s
 }
@@ -307,7 +335,10 @@ fn torus2d_instance(rows: usize, cols: usize, off: u32, len: u32, transposed: bo
 /// power-of-two: uses the standard fold into the lower half.
 pub fn binomial_tree_allreduce(p: usize, n: usize) -> Schedule {
     let mut s = Schedule::new(p, n);
-    let seg = Payload::Segment { off: 0, len: n as u32 };
+    let seg = Payload::Segment {
+        off: 0,
+        len: n as u32,
+    };
     // Reduce phase.
     let mut gate: Vec<Option<u32>> = vec![None; p];
     let mut dist = 1usize;
@@ -375,7 +406,13 @@ pub fn ring_broadcast(p: usize, n: usize, root: usize) -> Schedule {
                 vec![last_recv[rank].unwrap()]
             };
             s.send(rank, next, tag, Payload::Segment { off: o, len: l }, deps);
-            let rv = s.recv(next as usize, rank as u32, tag, RecvAction::Copy, Vec::new());
+            let rv = s.recv(
+                next as usize,
+                rank as u32,
+                tag,
+                RecvAction::Copy,
+                Vec::new(),
+            );
             last_recv[next as usize] = Some(rv);
         }
     }

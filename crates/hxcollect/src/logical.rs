@@ -33,8 +33,7 @@ pub fn execute(sched: &Schedule, inputs: &[Vec<f32>]) -> Result<LogicalResult, S
     let mut done: Vec<Vec<bool>> = sched.ops.iter().map(|v| vec![false; v.len()]).collect();
     // In-flight messages: (src, dst, tag) -> segment data + offset.
     #[allow(clippy::type_complexity)]
-    let mut mailbox: HashMap<(u32, u32, u64), Vec<(Option<(u32, Vec<f32>)>, u64)>> =
-        HashMap::new();
+    let mut mailbox: HashMap<(u32, u32, u64), Vec<(Option<(u32, Vec<f32>)>, u64)>> = HashMap::new();
     let mut messages = 0usize;
 
     let total: usize = sched.num_ops();
@@ -57,8 +56,7 @@ pub fn execute(sched: &Schedule, inputs: &[Vec<f32>]) -> Result<LogicalResult, S
                     OpKind::Send { to, tag, payload } => {
                         let entry = match payload {
                             Payload::Segment { off, len } => {
-                                let seg =
-                                    data[r][off as usize..(off + len) as usize].to_vec();
+                                let seg = data[r][off as usize..(off + len) as usize].to_vec();
                                 (Some((off, seg)), 0)
                             }
                             Payload::Opaque { bytes } => (None, bytes),
@@ -88,9 +86,7 @@ pub fn execute(sched: &Schedule, inputs: &[Vec<f32>]) -> Result<LogicalResult, S
                                     .copy_from_slice(&vals);
                             }
                             (a, None) => {
-                                return Err(format!(
-                                    "rank {r} op {i}: {a:?} on opaque payload"
-                                ))
+                                return Err(format!("rank {r} op {i}: {a:?} on opaque payload"))
                             }
                         }
                         done[r][i] = true;
@@ -108,9 +104,11 @@ pub fn execute(sched: &Schedule, inputs: &[Vec<f32>]) -> Result<LogicalResult, S
         if !progress {
             let stuck: Vec<String> = (0..sched.nranks)
                 .flat_map(|r| {
-                    done[r].iter().enumerate().filter(|(_, d)| !**d).map(move |(i, _)| {
-                        format!("rank {r} op {i}")
-                    })
+                    done[r]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| !**d)
+                        .map(move |(i, _)| format!("rank {r} op {i}"))
                 })
                 .take(8)
                 .collect();

@@ -17,7 +17,10 @@ pub struct AlphaBeta {
 impl AlphaBeta {
     /// 400 Gb/s interfaces with ~1 µs software/packet startup.
     pub fn default_400g() -> Self {
-        Self { alpha_ps: 1_000_000.0, beta_ps_per_byte: 20.0 }
+        Self {
+            alpha_ps: 1_000_000.0,
+            beta_ps_per_byte: 20.0,
+        }
     }
 }
 
@@ -64,8 +67,7 @@ impl AlphaBeta {
     /// `(p-1)·S` bytes at one interface's rate.
     pub fn alltoall(&self, p: usize, s_bytes_per_pair: u64, interfaces: usize) -> f64 {
         (p as f64 - 1.0)
-            * (self.alpha_ps
-                + s_bytes_per_pair as f64 * self.beta_ps_per_byte / interfaces as f64)
+            * (self.alpha_ps + s_bytes_per_pair as f64 * self.beta_ps_per_byte / interfaces as f64)
     }
 }
 
@@ -82,11 +84,7 @@ pub fn allreduce_bw_fraction(s_bytes: u64, t_ps: u64, inj_bytes_per_ps: f64) -> 
 
 /// Global (alltoall) bandwidth as share of injection (Table II): bytes each
 /// rank sends divided by runtime, over the injection bandwidth.
-pub fn alltoall_bw_fraction(
-    bytes_per_rank: u64,
-    t_ps: u64,
-    inj_bytes_per_ps: f64,
-) -> f64 {
+pub fn alltoall_bw_fraction(bytes_per_rank: u64, t_ps: u64, inj_bytes_per_ps: f64) -> f64 {
     if t_ps == 0 {
         return 0.0;
     }

@@ -172,8 +172,7 @@ pub fn single_hamiltonian_cycle(r: usize, c: usize) -> Option<Cycle> {
         debug_assert_eq!(cy.len(), r * c);
         Some(cy)
     } else if r.is_multiple_of(2) {
-        single_hamiltonian_cycle(c, r)
-            .map(|cy| cy.into_iter().map(|(i, j)| (j, i)).collect())
+        single_hamiltonian_cycle(c, r).map(|cy| cy.into_iter().map(|(i, j)| (j, i)).collect())
     } else {
         None
     }
@@ -201,8 +200,9 @@ pub fn validate_cycle(cycle: &Cycle, r: usize, c: usize) -> Result<(), String> {
 /// Validate that two cycles share no edge.
 pub fn validate_disjoint(a: &Cycle, b: &Cycle) -> Result<(), String> {
     let n = a.len();
-    let ea: HashSet<_> =
-        (0..n).map(|i| canonical_edge(a[i], a[(i + 1) % n])).collect();
+    let ea: HashSet<_> = (0..n)
+        .map(|i| canonical_edge(a[i], a[(i + 1) % n]))
+        .collect();
     for i in 0..b.len() {
         let e = canonical_edge(b[i], b[(i + 1) % b.len()]);
         if ea.contains(&e) {
@@ -220,8 +220,8 @@ mod tests {
     #[test]
     fn paper_figure16_sizes() {
         for (r, c) in [(4, 4), (8, 4), (9, 3), (16, 8)] {
-            let (g, red) = disjoint_hamiltonian_cycles(r, c)
-                .unwrap_or_else(|e| panic!("{r}x{c}: {e:?}"));
+            let (g, red) =
+                disjoint_hamiltonian_cycles(r, c).unwrap_or_else(|e| panic!("{r}x{c}: {e:?}"));
             validate_cycle(&g, r, c).unwrap();
             validate_cycle(&red, r, c).unwrap();
             validate_disjoint(&g, &red).unwrap();
@@ -230,9 +230,15 @@ mod tests {
 
     #[test]
     fn infeasible_sizes_rejected() {
-        assert_eq!(disjoint_hamiltonian_cycles(4, 3), Err(RingError::NotMultiple));
+        assert_eq!(
+            disjoint_hamiltonian_cycles(4, 3),
+            Err(RingError::NotMultiple)
+        );
         // r=6, c=3: gcd(6,2)=2.
-        assert_eq!(disjoint_hamiltonian_cycles(6, 3), Err(RingError::GcdCondition));
+        assert_eq!(
+            disjoint_hamiltonian_cycles(6, 3),
+            Err(RingError::GcdCondition)
+        );
         assert_eq!(disjoint_hamiltonian_cycles(1, 4), Err(RingError::TooSmall));
     }
 
@@ -247,14 +253,18 @@ mod tests {
                 edges.insert(canonical_edge(cy[i], cy[(i + 1) % n]));
             }
         }
-        assert_eq!(edges.len(), 2 * n, "two Hamiltonian cycles must cover all torus edges");
+        assert_eq!(
+            edges.len(),
+            2 * n,
+            "two Hamiltonian cycles must cover all torus edges"
+        );
     }
 
     #[test]
     fn single_cycle_fallback() {
         for (r, c) in [(4, 6), (3, 4), (5, 4), (7, 10), (6, 4)] {
-            let cy = single_hamiltonian_cycle(r, c)
-                .unwrap_or_else(|| panic!("no cycle for {r}x{c}"));
+            let cy =
+                single_hamiltonian_cycle(r, c).unwrap_or_else(|| panic!("no cycle for {r}x{c}"));
             validate_cycle(&cy, r, c).unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
         }
     }

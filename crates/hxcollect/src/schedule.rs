@@ -36,10 +36,20 @@ pub enum RecvAction {
 
 #[derive(Clone, Copy, Debug)]
 pub enum OpKind {
-    Send { to: u32, tag: u64, payload: Payload },
-    Recv { from: u32, tag: u64, action: RecvAction },
+    Send {
+        to: u32,
+        tag: u64,
+        payload: Payload,
+    },
+    Recv {
+        from: u32,
+        tag: u64,
+        action: RecvAction,
+    },
     /// Local computation lasting `ps` picoseconds (no-op logically).
-    Compute { ps: u64 },
+    Compute {
+        ps: u64,
+    },
 }
 
 /// One operation with its intra-rank dependencies.
@@ -134,12 +144,16 @@ impl Schedule {
             let base = self.ops[r].len() as u32;
             for op in &other.ops[r] {
                 let kind = match op.kind {
-                    OpKind::Send { to, tag, payload } => {
-                        OpKind::Send { to, tag: tag + tag_shift, payload }
-                    }
-                    OpKind::Recv { from, tag, action } => {
-                        OpKind::Recv { from, tag: tag + tag_shift, action }
-                    }
+                    OpKind::Send { to, tag, payload } => OpKind::Send {
+                        to,
+                        tag: tag + tag_shift,
+                        payload,
+                    },
+                    OpKind::Recv { from, tag, action } => OpKind::Recv {
+                        from,
+                        tag: tag + tag_shift,
+                        action,
+                    },
                     k => k,
                 };
                 self.ops[r].push(Op {
@@ -160,7 +174,12 @@ impl Schedule {
                         return Err(format!("rank {r} op {i}: forward/self dep {d}"));
                     }
                 }
-                if let OpKind::Send { payload: Payload::Segment { off, len }, to, .. } = op.kind {
+                if let OpKind::Send {
+                    payload: Payload::Segment { off, len },
+                    to,
+                    ..
+                } = op.kind
+                {
                     if (off + len) as usize > self.data_len {
                         return Err(format!("rank {r} op {i}: segment out of range"));
                     }

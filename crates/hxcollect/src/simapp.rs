@@ -38,8 +38,11 @@ impl<'s> ScheduleApp<'s> {
     pub fn with_mapping(sched: &'s Schedule, mapping: Vec<u32>) -> Self {
         assert_eq!(mapping.len(), sched.nranks);
         sched.validate().expect("invalid schedule");
-        let inverse: HashMap<u32, u32> =
-            mapping.iter().enumerate().map(|(s, &g)| (g, s as u32)).collect();
+        let inverse: HashMap<u32, u32> = mapping
+            .iter()
+            .enumerate()
+            .map(|(s, &g)| (g, s as u32))
+            .collect();
         assert_eq!(inverse.len(), mapping.len(), "mapping must be injective");
 
         let mut indeg: Vec<Vec<u32>> = Vec::with_capacity(sched.nranks);
@@ -69,8 +72,7 @@ impl<'s> ScheduleApp<'s> {
                 }
             }
         }
-        let mut send_match: Vec<HashMap<u32, (u32, u32)>> =
-            vec![HashMap::new(); sched.nranks];
+        let mut send_match: Vec<HashMap<u32, (u32, u32)>> = vec![HashMap::new(); sched.nranks];
         for (r, ops) in sched.ops.iter().enumerate() {
             for (i, op) in ops.iter().enumerate() {
                 if let OpKind::Send { to, tag, .. } = op.kind {
@@ -88,7 +90,16 @@ impl<'s> ScheduleApp<'s> {
         }
 
         let remaining = sched.num_ops();
-        Self { sched, mapping, inverse, indeg, dependents, send_match, remaining, finish_ps: 0 }
+        Self {
+            sched,
+            mapping,
+            inverse,
+            indeg,
+            dependents,
+            send_match,
+            remaining,
+            finish_ps: 0,
+        }
     }
 
     pub fn is_done(&self) -> bool {
@@ -184,5 +195,27 @@ impl Application for ScheduleApp<'_> {
         debug_assert_eq!(self.mapping[srank as usize], rank);
         self.complete(ctx, srank, sop);
     }
+}
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::ring_allreduce;
+    use hxnet::hammingmesh::HxMeshParams;
+    use hxsim::{simulate, EngineKind, SimConfig};
+
+    /// A schedule replay must complete on both simulation backends — the
+    /// ScheduleApp surface is engine-agnostic by construction.
+    #[test]
+    fn schedule_replays_on_both_engines() {
+        let net = HxMeshParams::square(2, 2).build();
+        let sched = ring_allreduce(net.num_ranks(), 64 * net.num_ranks());
+        for kind in EngineKind::all() {
+            let mut app = ScheduleApp::new(&sched);
+            let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+            assert!(stats.clean(), "{kind}: {stats:?}");
+            assert!(app.is_done(), "{kind}: schedule incomplete");
+            assert!(app.finish_ps > 0);
+        }
+    }
 }

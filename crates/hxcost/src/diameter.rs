@@ -11,7 +11,9 @@ pub fn fat_tree_diameter(q: usize, k: usize) -> u32 {
     if q <= k {
         return 2;
     }
-    let levels = ((q as f64 / k as f64).ln() / ((k / 2) as f64).ln()).ceil().max(1.0) as u32;
+    let levels = ((q as f64 / k as f64).ln() / ((k / 2) as f64).ln())
+        .ceil()
+        .max(1.0) as u32;
     2 * (levels + 1)
 }
 
@@ -48,7 +50,7 @@ pub fn dragonfly_diameter(h: usize, groups: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hxnet::{NodeId, Network};
+    use hxnet::{Network, NodeId};
 
     /// Max BFS distance between endpoint pairs.
     fn graph_diameter(net: &Network, sample: usize) -> u32 {
@@ -97,7 +99,12 @@ mod tests {
         assert!(graph_diameter(&net, 8) <= hxmesh_diameter(2, 2, 4, 4, 64));
         let net = hxnet::hammingmesh::HxMeshParams::square(4, 4).build();
         assert!(graph_diameter(&net, 8) <= hxmesh_diameter(4, 4, 4, 4, 64));
-        let net = hxnet::torus::TorusParams { cols: 8, rows: 8, board: 2 }.build();
+        let net = hxnet::torus::TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
         assert_eq!(graph_diameter(&net, 8), torus_diameter(8, 8));
         let net = hxnet::fattree::FatTreeParams::small_nonblocking().build();
         assert_eq!(graph_diameter(&net, 32), 4);

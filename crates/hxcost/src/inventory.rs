@@ -16,7 +16,11 @@ pub struct Prices {
 
 impl Default for Prices {
     fn default() -> Self {
-        Self { switch_usd: 14_280.0, aoc_usd: 603.0, dac_usd: 272.0 }
+        Self {
+            switch_usd: 14_280.0,
+            aoc_usd: 603.0,
+            dac_usd: 272.0,
+        }
     }
 }
 
@@ -30,7 +34,11 @@ pub struct Inventory {
 
 impl Inventory {
     pub const fn new(switches: u64, dac_cables: u64, aoc_cables: u64) -> Self {
-        Self { switches, dac_cables, aoc_cables }
+        Self {
+            switches,
+            dac_cables,
+            aoc_cables,
+        }
     }
 
     /// Scale a per-plane inventory to `planes` planes.
@@ -93,7 +101,10 @@ mod tests {
     fn cost_arithmetic() {
         let inv = Inventory::new(2, 10, 20);
         let p = Prices::default();
-        assert_eq!(inv.cost_usd(&p), 2.0 * 14280.0 + 10.0 * 272.0 + 20.0 * 603.0);
+        assert_eq!(
+            inv.cost_usd(&p),
+            2.0 * 14280.0 + 10.0 * 272.0 + 20.0 * 603.0
+        );
     }
 
     #[test]

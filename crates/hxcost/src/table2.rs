@@ -261,9 +261,18 @@ mod tests {
         let entries = table2_entries(ClusterSize::Small);
 
         let ft = hxnet::fattree::FatTreeParams::small_nonblocking().build();
-        assert_eq!(ft.topo.count_cables(Cable::Dac) as u64 * 16, entries[0].inventory.dac_cables);
-        assert_eq!(ft.topo.count_cables(Cable::Aoc) as u64 * 16, entries[0].inventory.aoc_cables);
-        assert_eq!(ft.topo.count_switches() as u64 * 16, entries[0].inventory.switches);
+        assert_eq!(
+            ft.topo.count_cables(Cable::Dac) as u64 * 16,
+            entries[0].inventory.dac_cables
+        );
+        assert_eq!(
+            ft.topo.count_cables(Cable::Aoc) as u64 * 16,
+            entries[0].inventory.aoc_cables
+        );
+        assert_eq!(
+            ft.topo.count_switches() as u64 * 16,
+            entries[0].inventory.switches
+        );
 
         let df = hxnet::dragonfly::DragonflyParams::small().build();
         // The paper packs two 31-port virtual switches per 64-port physical
@@ -274,7 +283,10 @@ mod tests {
             (df.topo.count_cables(Cable::Dac) as u64 - 64) * 16,
             entries[3].inventory.dac_cables
         );
-        assert_eq!(df.topo.count_cables(Cable::Aoc) as u64 * 16, entries[3].inventory.aoc_cables);
+        assert_eq!(
+            df.topo.count_cables(Cable::Aoc) as u64 * 16,
+            entries[3].inventory.aoc_cables
+        );
 
         let hx2 = hxnet::hammingmesh::HxMeshParams::small_hx2().build();
         assert_eq!(

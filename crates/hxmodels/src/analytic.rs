@@ -176,7 +176,10 @@ mod tests {
     use super::*;
 
     fn small(name: &str) -> TopologyPerf {
-        TopologyPerf::table2_small().into_iter().find(|t| t.name == name).unwrap()
+        TopologyPerf::table2_small()
+            .into_iter()
+            .find(|t| t.name == name)
+            .unwrap()
     }
 
     #[test]

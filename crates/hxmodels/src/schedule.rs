@@ -40,7 +40,11 @@ impl ScaledConfig {
         while par.total() > max_ranks && par.o > 1 {
             par.o = (par.o / 2).max(1);
         }
-        Self { parallelism: par, microbatches: 4, bytes_scale: 1.0 }
+        Self {
+            parallelism: par,
+            microbatches: 4,
+            bytes_scale: 1.0,
+        }
     }
 
     /// Rank of logical coordinate (di, pi, oi): o fastest, then p, then d.
@@ -65,7 +69,10 @@ fn opaque_ring(
 ) -> Vec<u32> {
     let g = members.len();
     if g < 2 || total == 0 {
-        return entry.iter().map(|d| d.last().copied().unwrap_or(0)).collect();
+        return entry
+            .iter()
+            .map(|d| d.last().copied().unwrap_or(0))
+            .collect();
     }
     let chunk = (total / g as u64).max(1);
     let mut last: Vec<Option<u32>> = vec![None; g];
@@ -78,8 +85,20 @@ fn opaque_ring(
                 Some(r) => vec![r],
                 None => entry[i].clone(),
             };
-            s.send(me, next, tag_base + k as u64, Payload::Opaque { bytes: chunk }, deps);
-            let r = s.recv(me, prev, tag_base + k as u64, RecvAction::Discard, Vec::new());
+            s.send(
+                me,
+                next,
+                tag_base + k as u64,
+                Payload::Opaque { bytes: chunk },
+                deps,
+            );
+            let r = s.recv(
+                me,
+                prev,
+                tag_base + k as u64,
+                RecvAction::Discard,
+                Vec::new(),
+            );
             last[i] = Some(r);
         }
     }
@@ -103,8 +122,20 @@ fn opaque_alltoall(
             let me = members[i] as usize;
             let to = members[(i + shift) % g];
             let from = members[(i + g - shift) % g];
-            s.send(me, to, tag_base + shift as u64, Payload::Opaque { bytes }, entry[i].clone());
-            s.recv(me, from, tag_base + shift as u64, RecvAction::Discard, Vec::new());
+            s.send(
+                me,
+                to,
+                tag_base + shift as u64,
+                Payload::Opaque { bytes },
+                entry[i].clone(),
+            );
+            s.recv(
+                me,
+                from,
+                tag_base + shift as u64,
+                RecvAction::Discard,
+                Vec::new(),
+            );
         }
     }
 }
@@ -195,8 +226,7 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
                 let per_chunk = scaled(bytes, f) / chunks.max(1) as u64;
                 for pi in 0..par.p {
                     for oi in 0..par.o {
-                        let members: Vec<u32> =
-                            (0..par.d).map(|di| cfg.rank(di, pi, oi)).collect();
+                        let members: Vec<u32> = (0..par.d).map(|di| cfg.rank(di, pi, oi)).collect();
                         let entry: Vec<Vec<u32>> = members
                             .iter()
                             .map(|&mm| stage_gate[mm as usize].clone())
@@ -217,19 +247,12 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
                 }
                 for di in 0..par.d {
                     for pi in 0..par.p {
-                        let members: Vec<u32> =
-                            (0..par.o).map(|oi| cfg.rank(di, pi, oi)).collect();
+                        let members: Vec<u32> = (0..par.o).map(|oi| cfg.rank(di, pi, oi)).collect();
                         let entry: Vec<Vec<u32>> = vec![Vec::new(); members.len()];
                         let mut gate = entry.clone();
                         for _ in 0..count.max(1) {
                             let t0 = fresh_tag(&mut tag, 2 * par.o as u64 + 4);
-                            let exits = opaque_ring(
-                                &mut s,
-                                &members,
-                                scaled(bytes, f),
-                                t0,
-                                &gate,
-                            );
+                            let exits = opaque_ring(&mut s, &members, scaled(bytes, f), t0, &gate);
                             gate = exits.into_iter().map(|e| vec![e]).collect();
                         }
                     }
@@ -242,8 +265,7 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
                     continue;
                 }
                 for g0 in (0..n).step_by(group) {
-                    let members: Vec<u32> =
-                        (g0..(g0 + group).min(n)).map(|r| r as u32).collect();
+                    let members: Vec<u32> = (g0..(g0 + group).min(n)).map(|r| r as u32).collect();
                     if members.len() < 2 {
                         continue;
                     }
@@ -261,8 +283,7 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
                 // Neighbor exchange along the o ring.
                 for di in 0..par.d {
                     for pi in 0..par.p {
-                        let members: Vec<u32> =
-                            (0..par.o).map(|oi| cfg.rank(di, pi, oi)).collect();
+                        let members: Vec<u32> = (0..par.o).map(|oi| cfg.rank(di, pi, oi)).collect();
                         for k in 0..count.max(1) {
                             let t0 = fresh_tag(&mut tag, 4);
                             for i in 0..members.len() {
@@ -273,7 +294,9 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
                                     me,
                                     nxt,
                                     t0,
-                                    Payload::Opaque { bytes: scaled(bytes, f) },
+                                    Payload::Opaque {
+                                        bytes: scaled(bytes, f),
+                                    },
                                     Vec::new(),
                                 );
                                 s.recv(me, prv, t0, RecvAction::Discard, Vec::new());
@@ -291,13 +314,18 @@ pub fn build_iteration(w: &DnnWorkload, cfg: &ScaledConfig) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hxsim::{Engine, SimConfig};
+    use hxsim::SimConfig;
 
     #[test]
     fn scaled_config_fits_budget() {
         for w in DnnWorkload::all() {
             let cfg = ScaledConfig::fit(&w, 64);
-            assert!(cfg.parallelism.total() <= 64, "{}: {:?}", w.name, cfg.parallelism);
+            assert!(
+                cfg.parallelism.total() <= 64,
+                "{}: {:?}",
+                w.name,
+                cfg.parallelism
+            );
             assert!(cfg.parallelism.total() >= 2);
         }
     }
@@ -318,16 +346,20 @@ mod tests {
     /// the compute time.
     #[test]
     fn scaled_gpt3_runs_on_simulator() {
+        // Both backends must replay the full DNN-iteration schedule
+        // (sends, recvs, and compute ops with dependencies).
         let w = DnnWorkload::gpt3();
         let mut cfg = ScaledConfig::fit(&w, 16);
         cfg.bytes_scale = 0.001;
         let sched = build_iteration(&w, &cfg);
         let net = hxnet::hammingmesh::HxMeshParams::square(2, 2).build();
-        let mut app = hxcollect::simapp::ScheduleApp::new(&sched);
-        let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
-        assert!(stats.clean(), "{stats:?}");
-        assert!(app.is_done());
-        assert!(stats.finish_ps >= w.compute_ps / cfg.microbatches as u64);
+        for kind in hxsim::EngineKind::all() {
+            let mut app = hxcollect::simapp::ScheduleApp::new(&sched);
+            let stats = hxsim::simulate(&net, SimConfig::default(), kind, &mut app);
+            assert!(stats.clean(), "{kind}: {stats:?}");
+            assert!(app.is_done(), "{kind}");
+            assert!(stats.finish_ps >= w.compute_ps / cfg.microbatches as u64);
+        }
     }
 
     #[test]

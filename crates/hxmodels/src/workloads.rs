@@ -59,7 +59,11 @@ impl DnnWorkload {
     /// 60.2 M parameters in 10 gradient chunks, 108 ms/iteration.
     pub fn resnet152() -> Self {
         let np: u64 = 60_200_000;
-        let par = Parallelism { d: 1024, p: 1, o: 1 };
+        let par = Parallelism {
+            d: 1024,
+            p: 1,
+            o: 1,
+        };
         Self {
             name: "ResNet-152",
             parallelism: par,
@@ -87,9 +91,18 @@ impl DnnWorkload {
             parallelism: par,
             compute_ps: ms_to_ps(44.3),
             phases: vec![
-                CommPhase::HaloExchange { bytes: halo, count: 2 * 7 },
-                CommPhase::DataAllreduce { bytes: WORD * np / par.o as u64, chunks: 4 },
-                CommPhase::OperatorAllreduce { bytes: WORD * np / par.o as u64, count: 2 },
+                CommPhase::HaloExchange {
+                    bytes: halo,
+                    count: 2 * 7,
+                },
+                CommPhase::DataAllreduce {
+                    bytes: WORD * np / par.o as u64,
+                    chunks: 4,
+                },
+                CommPhase::OperatorAllreduce {
+                    bytes: WORD * np / par.o as u64,
+                    count: 2,
+                },
             ],
             overlap: 0.95,
             paper_iteration_ms: None, // paper reports <2% / 3.4% / 4.4% overhead
@@ -112,10 +125,16 @@ impl DnnWorkload {
             phases: vec![
                 // forward + backward pipeline handoffs, sliced into 8
                 // microbatch steps
-                CommPhase::PipelineSendRecv { bytes: na_bytes / (4 * 8), steps: 2 * 8 },
+                CommPhase::PipelineSendRecv {
+                    bytes: na_bytes / (4 * 8),
+                    steps: 2 * 8,
+                },
                 // one allreduce for FF and one for MHA in fwd and bwd,
                 // of the layer I/O size, across O=4
-                CommPhase::OperatorAllreduce { bytes: na_bytes / 4, count: 4 },
+                CommPhase::OperatorAllreduce {
+                    bytes: na_bytes / 4,
+                    count: 4,
+                },
             ],
             overlap: 0.35,
             paper_iteration_ms: Some((34.8, 72.2, 41.7, 49.9)),
@@ -129,7 +148,10 @@ impl DnnWorkload {
         let mut phases = base.phases.clone();
         // two alltoalls in fwd and two in bwd over the 16-expert groups;
         // all operations are the size of the layer input/output.
-        phases.push(CommPhase::OperatorAlltoall { bytes: na_bytes / 16, count: 4 });
+        phases.push(CommPhase::OperatorAlltoall {
+            bytes: na_bytes / 16,
+            count: 4,
+        });
         Self {
             name: "GPT-3 MoE",
             parallelism: base.parallelism,
@@ -149,8 +171,14 @@ impl DnnWorkload {
             parallelism: Parallelism { d: 128, p: 1, o: 1 },
             compute_ps: us_to_ps(95.0 + 209.0 + 796.0),
             phases: vec![
-                CommPhase::OperatorAlltoall { bytes: 1_000_000 / 128, count: 2 },
-                CommPhase::DataAllreduce { bytes: 2_960_000, chunks: 4 },
+                CommPhase::OperatorAlltoall {
+                    bytes: 1_000_000 / 128,
+                    count: 2,
+                },
+                CommPhase::DataAllreduce {
+                    bytes: 2_960_000,
+                    chunks: 4,
+                },
             ],
             overlap: 0.3,
             paper_iteration_ms: Some((2.96, 3.12, 2.97, 3.00)),

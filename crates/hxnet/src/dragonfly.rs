@@ -11,9 +11,9 @@
 //! the VC is incremented on every global hop (3 VCs suffice for Valiant
 //! paths l-g-l-g-l).
 
+use crate::cable_link;
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
 use crate::route::{Hop, LoadProbe, Router};
-use crate::cable_link;
 use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
@@ -32,13 +32,23 @@ impl DragonflyParams {
     /// The paper's small cluster (App. C1c): a=16, p=8, h=8, 8 groups,
     /// 1,024 endpoints.
     pub fn small() -> Self {
-        Self { a: 16, p: 8, h: 8, groups: 8 }
+        Self {
+            a: 16,
+            p: 8,
+            h: 8,
+            groups: 8,
+        }
     }
 
     /// The paper's large cluster (App. C2b): a=32, p=17, h=16, 30 groups,
     /// 16,320 endpoints.
     pub fn large() -> Self {
-        Self { a: 32, p: 17, h: 16, groups: 30 }
+        Self {
+            a: 32,
+            p: 17,
+            h: 16,
+            groups: 30,
+        }
     }
 
     /// A reduced-scale balanced Dragonfly with ~n endpoints.
@@ -50,7 +60,12 @@ impl DragonflyParams {
             let g_max = a * p + 1;
             let g_needed = n.div_ceil(a * p);
             if g_needed <= g_max || p > 64 {
-                return Self { a, p, h: p, groups: g_needed.max(2) };
+                return Self {
+                    a,
+                    p,
+                    h: p,
+                    groups: g_needed.max(2),
+                };
             }
             p += 1;
         }
@@ -143,8 +158,14 @@ impl DragonflyParams {
                     covers[(g1 * self.a + s1) * self.groups + g2] = true;
                     covers[(g2 * self.a + s2) * self.groups + g1] = true;
                     let (p1, p2) = topo.connect(sw(g1, s1), sw(g2, s2), cable_link(Cable::Aoc));
-                    global_ports.entry(sw(g1, s1)).or_default().push((p1, g2 as u32));
-                    global_ports.entry(sw(g2, s2)).or_default().push((p2, g1 as u32));
+                    global_ports
+                        .entry(sw(g1, s1))
+                        .or_default()
+                        .push((p1, g2 as u32));
+                    global_ports
+                        .entry(sw(g2, s2))
+                        .or_default()
+                        .push((p2, g1 as u32));
                     connected_any = true;
                 }
             }
@@ -206,7 +227,10 @@ impl DragonflyParams {
             topo,
             endpoints,
             router: Box::new(router),
-            name: format!("Dragonfly a={} p={} h={} g={}", self.a, self.p, self.h, self.groups),
+            name: format!(
+                "Dragonfly a={} p={} h={} g={}",
+                self.a, self.p, self.h, self.groups
+            ),
         }
     }
 }
@@ -265,7 +289,10 @@ impl Router for DragonflyRouter {
         }
         if topo.kind(node).is_accelerator() {
             for p in 0..topo.num_ports(node) {
-                out.push(Hop { port: PortId(p as u16), vc });
+                out.push(Hop {
+                    port: PortId(p as u16),
+                    vc,
+                });
             }
             return;
         }
@@ -296,7 +323,11 @@ impl Router for DragonflyRouter {
         }
         // Local hops to switches with a direct global link.
         for (peer, &p) in &self.local_port[&node] {
-            if self.direct.get(peer).and_then(|m| m.get(&tgroup)).is_some_and(|v| !v.is_empty())
+            if self
+                .direct
+                .get(peer)
+                .and_then(|m| m.get(&tgroup))
+                .is_some_and(|v| !v.is_empty())
             {
                 out.push(Hop { port: p, vc });
             }
@@ -326,7 +357,10 @@ impl Router for DragonflyRouter {
         let min_q = {
             let mut cand = Vec::new();
             self.candidates(topo, ssw, 0, dst, &mut cand);
-            cand.iter().map(|h| probe.queued_bytes(ssw, h.port)).min().unwrap_or(0)
+            cand.iter()
+                .map(|h| probe.queued_bytes(ssw, h.port))
+                .min()
+                .unwrap_or(0)
         };
         // Pick a random intermediate group != sg, dg.
         let mut ig = rng.next_u32() % self.groups;
@@ -337,7 +371,10 @@ impl Router for DragonflyRouter {
         let val_q = {
             let mut cand = Vec::new();
             self.candidates(topo, ssw, 0, iw, &mut cand);
-            cand.iter().map(|h| probe.queued_bytes(ssw, h.port)).min().unwrap_or(0)
+            cand.iter()
+                .map(|h| probe.queued_bytes(ssw, h.port))
+                .min()
+                .unwrap_or(0)
         };
         // UGAL decision: go Valiant when the minimal queue is more than
         // twice the Valiant queue (hop-count ratio) plus a small offset.
@@ -391,7 +428,13 @@ mod tests {
     fn minimal_paths_are_at_most_five_hops() {
         // endpoint-sw, local, global, local, sw-endpoint = 5 cables (diam 3
         // switch hops as in Table II, which counts switch-to-switch).
-        let net = DragonflyParams { a: 4, p: 2, h: 2, groups: 5 }.build();
+        let net = DragonflyParams {
+            a: 4,
+            p: 2,
+            h: 2,
+            groups: 5,
+        }
+        .build();
         let n = net.endpoints.len();
         for s in (0..n).step_by(3) {
             for d in (0..n).step_by(7) {
@@ -417,8 +460,11 @@ mod tests {
         let net = p.build();
         for (id, node) in net.topo.nodes() {
             if net.topo.kind(id).is_switch() {
-                let globals =
-                    node.ports.iter().filter(|l| l.spec.cable == Cable::Aoc).count();
+                let globals = node
+                    .ports
+                    .iter()
+                    .filter(|l| l.spec.cable == Cable::Aoc)
+                    .count();
                 assert!(globals <= p.h, "switch {id:?} has {globals} global links");
             }
         }

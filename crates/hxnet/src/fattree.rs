@@ -148,7 +148,17 @@ impl FatTreeParams {
         }
         let num_leaves = self.num_leaves();
         let leaves: Vec<NodeId> = (0..num_leaves)
-            .map(|i| topo.add_switch(0, if self.levels == 3 { (i / self.pod_leaves) as u32 } else { 0 }, i as u32))
+            .map(|i| {
+                topo.add_switch(
+                    0,
+                    if self.levels == 3 {
+                        (i / self.pod_leaves) as u32
+                    } else {
+                        0
+                    },
+                    i as u32,
+                )
+            })
             .collect();
         // Endpoint attachment: DAC.
         for (r, &e) in endpoints.iter().enumerate() {
@@ -162,8 +172,9 @@ impl FatTreeParams {
         let mut up_start: Vec<(NodeId, usize)> = Vec::new();
 
         if self.levels == 2 {
-            let spines: Vec<NodeId> =
-                (0..self.num_spines).map(|i| topo.add_switch(1, 0, i as u32)).collect();
+            let spines: Vec<NodeId> = (0..self.num_spines)
+                .map(|i| topo.add_switch(1, 0, i as u32))
+                .collect();
             for (li, &leaf) in leaves.iter().enumerate() {
                 up_start.push((leaf, topo.num_ports(leaf)));
                 for j in 0..self.leaf_up {
@@ -181,8 +192,9 @@ impl FatTreeParams {
             let mids: Vec<NodeId> = (0..num_pods * self.pod_mid)
                 .map(|i| topo.add_switch(1, (i / self.pod_mid) as u32, i as u32))
                 .collect();
-            let spines: Vec<NodeId> =
-                (0..self.num_spines).map(|i| topo.add_switch(2, 0, i as u32)).collect();
+            let spines: Vec<NodeId> = (0..self.num_spines)
+                .map(|i| topo.add_switch(2, 0, i as u32))
+                .collect();
             // Leaf -> pod mids.
             for (li, &leaf) in leaves.iter().enumerate() {
                 up_start.push((leaf, topo.num_ports(leaf)));
@@ -250,7 +262,10 @@ impl Router for FatTreeRouter {
         if topo.kind(node).is_accelerator() {
             // Endpoints inject on all their (usually one) ports.
             for p in 0..topo.num_ports(node) {
-                out.push(Hop { port: PortId(p as u16), vc });
+                out.push(Hop {
+                    port: PortId(p as u16),
+                    vc,
+                });
             }
             return;
         }
@@ -287,7 +302,8 @@ pub fn single_switch(n: usize, name: &str) -> Network {
 /// Sanity helper used in tests: total serialization rate through the tree's
 /// bisection, for comparing tapering factors.
 pub fn uplink_bytes_per_ps(params: &FatTreeParams) -> f64 {
-    (params.num_leaves() * params.leaf_up) as f64 / PS_PER_BYTE_400G * (CABLE_LATENCY_PS as f64 * 0.0 + 1.0)
+    (params.num_leaves() * params.leaf_up) as f64 / PS_PER_BYTE_400G
+        * (CABLE_LATENCY_PS as f64 * 0.0 + 1.0)
 }
 
 #[cfg(test)]
@@ -382,7 +398,13 @@ mod tests {
         let mut rng = rand::rng();
         assert!(net
             .router
-            .select_waypoint(&net.topo, net.endpoints[0], net.endpoints[9], &ZeroLoad, &mut rng)
+            .select_waypoint(
+                &net.topo,
+                net.endpoints[0],
+                net.endpoints[9],
+                &ZeroLoad,
+                &mut rng
+            )
             .is_none());
     }
 

@@ -76,6 +76,9 @@ pub struct LinkSpec {
 pub struct Link {
     pub peer: PortRef,
     pub spec: LinkSpec,
+    /// The link has been killed by fault injection ([`Topology::fail_link`]).
+    /// Failure-aware routers route around it.
+    pub failed: bool,
 }
 
 /// Role of a node in the topology.
@@ -121,13 +124,18 @@ impl Topology {
     }
 
     pub fn with_capacity(nodes: usize) -> Self {
-        Self { nodes: Vec::with_capacity(nodes) }
+        Self {
+            nodes: Vec::with_capacity(nodes),
+        }
     }
 
     /// Add a node with no ports yet; returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, ports: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            ports: Vec::new(),
+        });
         id
     }
 
@@ -145,9 +153,49 @@ impl Topology {
         assert_ne!(a, b, "self-loops are not allowed");
         let pa = PortId(self.nodes[a.idx()].ports.len() as u16);
         let pb = PortId(self.nodes[b.idx()].ports.len() as u16);
-        self.nodes[a.idx()].ports.push(Link { peer: PortRef { node: b, port: pb }, spec });
-        self.nodes[b.idx()].ports.push(Link { peer: PortRef { node: a, port: pa }, spec });
+        self.nodes[a.idx()].ports.push(Link {
+            peer: PortRef { node: b, port: pb },
+            spec,
+            failed: false,
+        });
+        self.nodes[b.idx()].ports.push(Link {
+            peer: PortRef { node: a, port: pa },
+            spec,
+            failed: false,
+        });
         (pa, pb)
+    }
+
+    /// Fault injection: mark the full-duplex link at `(node, port)` as
+    /// failed, in both directions. Failure-aware routers (HammingMesh)
+    /// stop offering the link as a candidate and route around it.
+    pub fn fail_link(&mut self, node: NodeId, port: PortId) {
+        let peer = self.peer(node, port);
+        self.nodes[node.idx()].ports[port.idx()].failed = true;
+        self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = true;
+    }
+
+    /// Undo [`Topology::fail_link`] (repair), in both directions.
+    pub fn restore_link(&mut self, node: NodeId, port: PortId) {
+        let peer = self.peer(node, port);
+        self.nodes[node.idx()].ports[port.idx()].failed = false;
+        self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = false;
+    }
+
+    /// Whether the directed link out of `(node, port)` is failed.
+    #[inline]
+    pub fn link_failed(&self, node: NodeId, port: PortId) -> bool {
+        self.nodes[node.idx()].ports[port.idx()].failed
+    }
+
+    /// Number of failed full-duplex links (each counted once).
+    pub fn count_failed_links(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.ports.iter())
+            .filter(|l| l.failed)
+            .count()
+            / 2
     }
 
     #[inline]
@@ -181,7 +229,10 @@ impl Topology {
     }
 
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Total number of full-duplex links (each counted once).
@@ -273,7 +324,12 @@ impl Network {
     /// Injection bandwidth of one endpoint in bytes/ps (sum over its ports).
     pub fn injection_bytes_per_ps(&self, rank: usize) -> f64 {
         let node = self.endpoints[rank];
-        self.topo.node(node).ports.iter().map(|l| 1.0 / l.spec.ps_per_byte).sum()
+        self.topo
+            .node(node)
+            .ports
+            .iter()
+            .map(|l| 1.0 / l.spec.ps_per_byte)
+            .sum()
     }
 }
 
@@ -293,7 +349,11 @@ mod tests {
     use super::*;
 
     fn spec() -> LinkSpec {
-        LinkSpec { latency_ps: 1000, ps_per_byte: 20.0, cable: Cable::Dac }
+        LinkSpec {
+            latency_ps: 1000,
+            ps_per_byte: 20.0,
+            cable: Cable::Dac,
+        }
     }
 
     #[test]
@@ -336,7 +396,14 @@ mod tests {
         let a = t.add_switch(0, 0, 0);
         let b = t.add_switch(0, 0, 1);
         let c = t.add_switch(0, 0, 2);
-        t.connect(a, b, LinkSpec { cable: Cable::Aoc, ..spec() });
+        t.connect(
+            a,
+            b,
+            LinkSpec {
+                cable: Cable::Aoc,
+                ..spec()
+            },
+        );
         t.connect(b, c, spec());
         assert_eq!(t.count_cables(Cable::Aoc), 1);
         assert_eq!(t.count_cables(Cable::Dac), 1);

@@ -72,7 +72,14 @@ impl HxMeshParams {
     /// Square HxaMesh on an `n` x `n` board grid, e.g. `square(2, 16)` is
     /// the paper's small-cluster 16x16 Hx2Mesh.
     pub fn square(board: usize, n: usize) -> Self {
-        Self { a: board, b: board, x: n, y: n, taper: 0.0, radix: 64 }
+        Self {
+            a: board,
+            b: board,
+            x: n,
+            y: n,
+            taper: 0.0,
+            radix: 64,
+        }
     }
 
     /// The paper's small-cluster 16x16 Hx2Mesh (1,024 accelerators).
@@ -136,7 +143,15 @@ impl HxMeshParams {
         let n = self.num_accelerators();
         let mut topo = Topology::with_capacity(n + self.x + self.y);
         let mut endpoints = vec![NodeId(0); n];
-        let mut coords = vec![HxCoord { bi: 0, bj: 0, r: 0, c: 0 }; n];
+        let mut coords = vec![
+            HxCoord {
+                bi: 0,
+                bj: 0,
+                r: 0,
+                c: 0
+            };
+            n
+        ];
         let acc_index = |bi: usize, bj: usize, r: usize, c: usize| {
             ((bi * self.x + bj) * self.a + r) * self.b + c
         };
@@ -145,7 +160,12 @@ impl HxMeshParams {
             for bj in 0..self.x {
                 for r in 0..self.a {
                     for c in 0..self.b {
-                        let co = HxCoord { bi: bi as u16, bj: bj as u16, r: r as u16, c: c as u16 };
+                        let co = HxCoord {
+                            bi: bi as u16,
+                            bj: bj as u16,
+                            r: r as u16,
+                            c: c as u16,
+                        };
                         let rank = self.rank_of(co);
                         let node = topo.add_accelerator(rank as u32);
                         endpoints[rank] = node;
@@ -212,13 +232,16 @@ impl HxMeshParams {
                 // Two-level fat tree over the line, optionally tapered.
                 let down = self.radix / 2;
                 let nleaves = q.div_ceil(down);
-                let up =
-                    (((self.radix / 2) as f64) * (1.0 - self.taper)).round().max(1.0) as usize;
+                let up = (((self.radix / 2) as f64) * (1.0 - self.taper))
+                    .round()
+                    .max(1.0) as usize;
                 let nspines = (nleaves * up).div_ceil(self.radix).max(1);
-                let leaves: Vec<NodeId> =
-                    (0..nleaves).map(|i| topo.add_switch(0, group, i as u32)).collect();
-                let spines: Vec<NodeId> =
-                    (0..nspines).map(|i| topo.add_switch(1, group, i as u32)).collect();
+                let leaves: Vec<NodeId> = (0..nleaves)
+                    .map(|i| topo.add_switch(0, group, i as u32))
+                    .collect();
+                let spines: Vec<NodeId> = (0..nspines)
+                    .map(|i| topo.add_switch(1, group, i as u32))
+                    .collect();
                 for (k, (acc, dir)) in attachments.into_iter().enumerate() {
                     let leaf = leaves[k / down];
                     let (pa, _) = topo.connect(acc, leaf, cable_link(cable));
@@ -255,7 +278,10 @@ impl HxMeshParams {
                     &mut ports,
                     attach,
                     Cable::Dac,
-                    NetRef::RowLine { bi: bi as u16, r: r as u16 },
+                    NetRef::RowLine {
+                        bi: bi as u16,
+                        r: r as u16,
+                    },
                 );
             }
         }
@@ -271,7 +297,10 @@ impl HxMeshParams {
                     &mut ports,
                     attach,
                     Cable::Aoc,
-                    NetRef::ColLine { bj: bj as u16, c: c as u16 },
+                    NetRef::ColLine {
+                        bj: bj as u16,
+                        c: c as u16,
+                    },
                 );
             }
         }
@@ -358,6 +387,25 @@ impl HxMeshRouter {
         (t as u32).min((len - 1 - t) as u32)
     }
 
+    /// The board-edge accelerator whose `dir`-side cable the `dir` exit of
+    /// `co`'s line uses, and that cable's port.
+    fn edge_cable(&self, co: HxCoord, dir: Dir) -> (NodeId, PortId) {
+        let node = match dir {
+            Dir::West => self.acc(co.bi, co.bj, co.r, 0),
+            Dir::East => self.acc(co.bi, co.bj, co.r, self.b - 1),
+            Dir::North => self.acc(co.bi, co.bj, 0, co.c),
+            Dir::South => self.acc(co.bi, co.bj, self.a - 1, co.c),
+        };
+        (node, self.ports[node.idx()][dir as usize])
+    }
+
+    /// Whether the global cable used by the `dir` exit of `co`'s line is
+    /// healthy (fault injection, [`Topology::fail_link`]).
+    fn exit_ok(&self, topo: &Topology, co: HxCoord, dir: Dir) -> bool {
+        let (node, port) = self.edge_cable(co, dir);
+        !topo.link_failed(node, port)
+    }
+
     /// Minimal remaining distance along one board line with optional
     /// wrap-around through the global line network (2 cable hops + edge
     /// walk).
@@ -367,12 +415,15 @@ impl HxMeshRouter {
             return direct;
         }
         let e = Self::edge_walk(t, len);
-        direct.min(p as u32 + 2 + e).min((len - 1 - p) as u32 + 2 + e)
+        direct
+            .min(p as u32 + 2 + e)
+            .min((len - 1 - p) as u32 + 2 + e)
     }
 
     /// Emit the minimal first hops along one line: `neg`/`pos` are the port
     /// slots for decreasing/increasing coordinate; edge ports double as
-    /// tree ports (VC bump).
+    /// tree ports (VC bump). `wrap_ok` allows the wrap-around through the
+    /// global line network (caller combines the VC bound with line health).
     #[allow(clippy::too_many_arguments)]
     fn line_candidates(
         &self,
@@ -383,9 +434,9 @@ impl HxMeshRouter {
         neg: Dir,
         pos: Dir,
         vc: u8,
+        wrap_ok: bool,
         out: &mut Vec<Hop>,
     ) {
-        let wrap_ok = vc < LAST_VC;
         let d = Self::line_dist(p, t, len, wrap_ok);
         debug_assert!(d > 0);
         let e = Self::edge_walk(t, len);
@@ -418,18 +469,41 @@ impl HxMeshRouter {
     }
 
     /// Candidates for leaving the board through the row (E/W) network of
-    /// the current accelerator row: adaptive toward the nearer edge.
-    fn exit_row_candidates(&self, node: NodeId, co: HxCoord, vc: u8, out: &mut Vec<Hop>) {
+    /// the current accelerator row: adaptive toward the nearer edge,
+    /// skipping edges whose global cable has failed (unless both have, in
+    /// which case health is ignored — the line is unreachable either way).
+    fn exit_row_candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        co: HxCoord,
+        vc: u8,
+        out: &mut Vec<Hop>,
+    ) {
+        let mut ok_w = self.exit_ok(topo, co, Dir::West);
+        let mut ok_e = self.exit_ok(topo, co, Dir::East);
+        if !ok_w && !ok_e {
+            (ok_w, ok_e) = (true, true);
+        }
         if self.b == 1 {
             // Both E and W are ports into the same row network.
-            for dir in [Dir::West, Dir::East] {
-                let port = self.ports[node.idx()][dir as usize];
-                out.push(Hop { port, vc: (vc + 1).min(LAST_VC) });
+            for (dir, ok) in [(Dir::West, ok_w), (Dir::East, ok_e)] {
+                if ok {
+                    let port = self.ports[node.idx()][dir as usize];
+                    out.push(Hop {
+                        port,
+                        vc: (vc + 1).min(LAST_VC),
+                    });
+                }
             }
             return;
         }
-        let cost_w = co.c as u32;
-        let cost_e = (self.b - 1 - co.c) as u32;
+        let cost_w = if ok_w { co.c as u32 } else { u32::MAX };
+        let cost_e = if ok_e {
+            (self.b - 1 - co.c) as u32
+        } else {
+            u32::MAX
+        };
         let best = cost_w.min(cost_e);
         if cost_w == best {
             let port = self.ports[node.idx()][Dir::West as usize];
@@ -438,59 +512,104 @@ impl HxMeshRouter {
         }
         if cost_e == best {
             let port = self.ports[node.idx()][Dir::East as usize];
-            let nvc = if co.c == self.b - 1 { (vc + 1).min(LAST_VC) } else { vc };
+            let nvc = if co.c == self.b - 1 {
+                (vc + 1).min(LAST_VC)
+            } else {
+                vc
+            };
             out.push(Hop { port, vc: nvc });
         }
     }
 
     /// Candidates for leaving the board through the column (N/S) network of
     /// the current accelerator column. `allow_north` enforces the
-    /// north-last turn restriction (§IV-C3).
+    /// north-last turn restriction (§IV-C3). Edges with failed global
+    /// cables are skipped like in [`HxMeshRouter::exit_row_candidates`].
     fn exit_col_candidates(
         &self,
+        topo: &Topology,
         node: NodeId,
         co: HxCoord,
         vc: u8,
         allow_north: bool,
         out: &mut Vec<Hop>,
     ) {
+        let mut ok_n = self.exit_ok(topo, co, Dir::North);
+        let mut ok_s = self.exit_ok(topo, co, Dir::South);
+        if !ok_n && !ok_s {
+            (ok_n, ok_s) = (true, true);
+        }
         if self.a == 1 {
             // Both N and S are ports into the same column network.
-            for dir in [Dir::North, Dir::South] {
-                let port = self.ports[node.idx()][dir as usize];
-                out.push(Hop { port, vc: (vc + 1).min(LAST_VC) });
+            for (dir, ok) in [(Dir::North, ok_n), (Dir::South, ok_s)] {
+                if ok {
+                    let port = self.ports[node.idx()][dir as usize];
+                    out.push(Hop {
+                        port,
+                        vc: (vc + 1).min(LAST_VC),
+                    });
+                }
             }
             return;
         }
-        let cost_n = co.r as u32;
-        let cost_s = (self.a - 1 - co.r) as u32;
-        let best = if allow_north { cost_n.min(cost_s) } else { cost_s };
+        let cost_n = if ok_n { co.r as u32 } else { u32::MAX };
+        let cost_s = if ok_s {
+            (self.a - 1 - co.r) as u32
+        } else {
+            u32::MAX
+        };
+        let best = if allow_north {
+            cost_n.min(cost_s)
+        } else {
+            cost_s
+        };
         if allow_north && cost_n == best {
             let port = self.ports[node.idx()][Dir::North as usize];
             let nvc = if co.r == 0 { (vc + 1).min(LAST_VC) } else { vc };
             out.push(Hop { port, vc: nvc });
         }
-        if cost_s == best {
+        if cost_s == best && best != u32::MAX {
             let port = self.ports[node.idx()][Dir::South as usize];
-            let nvc = if co.r == self.a - 1 { (vc + 1).min(LAST_VC) } else { vc };
+            let nvc = if co.r == self.a - 1 {
+                (vc + 1).min(LAST_VC)
+            } else {
+                vc
+            };
             out.push(Hop { port, vc: nvc });
         }
     }
 
     /// Entry accelerators through which the line network `net` delivers a
     /// packet heading for `t`: the target board's edge nodes on this line.
-    fn entries(&self, net: NetRef, t: HxCoord, out: &mut Vec<NodeId>) {
+    /// Entries whose global cable failed are skipped, unless that would
+    /// leave none.
+    fn entries(&self, topo: &Topology, net: NetRef, t: HxCoord, out: &mut Vec<NodeId>) {
+        let before = out.len();
         match net {
             NetRef::RowLine { bi, r } => {
-                out.push(self.acc(bi, t.bj, r, 0));
-                if self.b > 1 {
-                    out.push(self.acc(bi, t.bj, r, self.b - 1));
+                for (c, dir) in [(0, Dir::West), (self.b - 1, Dir::East)] {
+                    let node = self.acc(bi, t.bj, r, c);
+                    if !topo.link_failed(node, self.ports[node.idx()][dir as usize])
+                        && !out.contains(&node)
+                    {
+                        out.push(node);
+                    }
+                }
+                if out.len() == before {
+                    out.push(self.acc(bi, t.bj, r, 0));
                 }
             }
             NetRef::ColLine { bj, c } => {
-                out.push(self.acc(t.bi, bj, 0, c));
-                if self.a > 1 {
-                    out.push(self.acc(t.bi, bj, self.a - 1, c));
+                for (r, dir) in [(0, Dir::North), (self.a - 1, Dir::South)] {
+                    let node = self.acc(t.bi, bj, r, c);
+                    if !topo.link_failed(node, self.ports[node.idx()][dir as usize])
+                        && !out.contains(&node)
+                    {
+                        out.push(node);
+                    }
+                }
+                if out.len() == before {
+                    out.push(self.acc(t.bi, bj, 0, c));
                 }
             }
         }
@@ -514,24 +633,47 @@ impl Router for HxMeshRouter {
             return;
         }
         if let Some(&net) = self.switch_net.get(&node) {
-            // Global-network switch: up*/down* toward the entry accelerators.
+            // Global-network switch: up*/down* toward the entry accelerators,
+            // skipping failed links as long as a healthy candidate remains.
             let t = self.coords[target.idx()];
             let mut entries = Vec::with_capacity(2);
-            self.entries(net, t, &mut entries);
+            self.entries(topo, net, t, &mut entries);
             let mut produced = false;
             for e in &entries {
                 let ports = self.table.down_ports(node, *e);
                 for &port in ports {
-                    if !out.iter().any(|h| h.port == port) {
+                    if !topo.link_failed(node, port) && !out.iter().any(|h| h.port == port) {
                         out.push(Hop { port, vc });
+                        produced = true;
                     }
                 }
-                produced |= !ports.is_empty();
             }
             if !produced {
                 // Not reachable going down from here: go up.
                 for &port in self.table.up_ports(node) {
-                    out.push(Hop { port, vc });
+                    if !topo.link_failed(node, port) {
+                        out.push(Hop { port, vc });
+                    }
+                }
+            }
+            if out.is_empty() {
+                // Every healthy option is gone (isolating failure): fall
+                // back to the failure-blind candidate set so the contract
+                // of a non-empty set when node != target holds.
+                for e in &entries {
+                    for &port in self.table.down_ports(node, *e) {
+                        if !out.iter().any(|h| h.port == port) {
+                            out.push(Hop { port, vc });
+                        }
+                    }
+                }
+                if out.is_empty() {
+                    out.extend(
+                        self.table
+                            .up_ports(node)
+                            .iter()
+                            .map(|&port| Hop { port, vc }),
+                    );
                 }
             }
             debug_assert!(!out.is_empty(), "tree switch with no candidates");
@@ -543,17 +685,34 @@ impl Router for HxMeshRouter {
         let t = self.coords[target.idx()];
 
         if co.bi == t.bi && co.bj == t.bj {
-            // Same board: X then Y (north-last), wraps below LAST_VC.
+            // Same board: X then Y (north-last), wraps below LAST_VC and
+            // only while both of the line's edge cables are healthy.
             if co.c != t.c {
-                self.line_candidates(node, co.c, t.c, self.b, Dir::West, Dir::East, vc, out);
+                let wrap = vc < LAST_VC
+                    && self.exit_ok(topo, co, Dir::West)
+                    && self.exit_ok(topo, co, Dir::East);
+                self.line_candidates(node, co.c, t.c, self.b, Dir::West, Dir::East, vc, wrap, out);
             } else {
                 debug_assert_ne!(co.r, t.r);
-                self.line_candidates(node, co.r, t.r, self.a, Dir::North, Dir::South, vc, out);
+                let wrap = vc < LAST_VC
+                    && self.exit_ok(topo, co, Dir::North)
+                    && self.exit_ok(topo, co, Dir::South);
+                self.line_candidates(
+                    node,
+                    co.r,
+                    t.r,
+                    self.a,
+                    Dir::North,
+                    Dir::South,
+                    vc,
+                    wrap,
+                    out,
+                );
             }
         } else if co.bi == t.bi {
             // Same board row: leave through this accelerator row's network;
             // the row fix-up (to t.r) can also start early going south.
-            self.exit_row_candidates(node, co, vc, out);
+            self.exit_row_candidates(topo, node, co, vc, out);
             if t.r > co.r {
                 let port = self.ports[node.idx()][Dir::South as usize];
                 out.push(Hop { port, vc });
@@ -568,11 +727,11 @@ impl Router for HxMeshRouter {
                 let port = self.ports[node.idx()][dir as usize];
                 out.push(Hop { port, vc });
             }
-            self.exit_col_candidates(node, co, vc, !need_ew, out);
+            self.exit_col_candidates(topo, node, co, vc, !need_ew, out);
         } else {
             // Different row and column: row dimension first (the
             // column-first alternative is expressed via a waypoint).
-            self.exit_row_candidates(node, co, vc, out);
+            self.exit_row_candidates(topo, node, co, vc, out);
         }
     }
 
@@ -612,6 +771,17 @@ impl Router for HxMeshRouter {
             Some(self.acc(d.bi, s.bj, d.r, d.c))
         } else {
             None
+        }
+    }
+
+    fn waypoint_options(&self, _topo: &Topology, src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) {
+        // Diagonal traffic has exactly two path classes: row-first (the
+        // direct candidates) and column-first, expressed as a waypoint on
+        // the board (d.bi, s.bj) — mirrors select_waypoint's option set.
+        let s = self.coords[src.idx()];
+        let d = self.coords[dst.idx()];
+        if s.bi != d.bi && s.bj != d.bj {
+            out.push(self.acc(d.bi, s.bj, d.r, d.c));
         }
     }
 
@@ -688,7 +858,14 @@ mod tests {
 
     #[test]
     fn rank_coord_roundtrip() {
-        let p = HxMeshParams { a: 2, b: 3, x: 4, y: 5, taper: 0.0, radix: 64 };
+        let p = HxMeshParams {
+            a: 2,
+            b: 3,
+            x: 4,
+            y: 5,
+            taper: 0.0,
+            radix: 64,
+        };
         for rank in 0..p.num_accelerators() {
             assert_eq!(p.rank_of(p.coord_of(rank)), rank);
         }
@@ -700,8 +877,28 @@ mod tests {
         let net = p.build();
         walk(&net, 0, 1, 6); // same board
         walk(&net, 0, 7, 8); // same board row
-        walk(&net, 0, p.rank_of(HxCoord { bi: 3, bj: 0, r: 1, c: 0 }), 8); // same column
-        walk(&net, 0, p.rank_of(HxCoord { bi: 3, bj: 3, r: 1, c: 1 }), 12); // diagonal
+        walk(
+            &net,
+            0,
+            p.rank_of(HxCoord {
+                bi: 3,
+                bj: 0,
+                r: 1,
+                c: 0,
+            }),
+            8,
+        ); // same column
+        walk(
+            &net,
+            0,
+            p.rank_of(HxCoord {
+                bi: 3,
+                bj: 3,
+                r: 1,
+                c: 1,
+            }),
+            12,
+        ); // diagonal
     }
 
     #[test]
@@ -750,7 +947,14 @@ mod tests {
     #[test]
     fn large_lines_use_fat_trees() {
         // Lines of 2*40 = 80 ports > 64 -> 2-level trees on rows.
-        let p = HxMeshParams { a: 2, b: 2, x: 40, y: 2, taper: 0.0, radix: 64 };
+        let p = HxMeshParams {
+            a: 2,
+            b: 2,
+            x: 40,
+            y: 2,
+            taper: 0.0,
+            radix: 64,
+        };
         let net = p.build();
         assert!(net.topo.count_switches() > 4 * 2 + 80);
         walk(&net, 0, net.endpoints.len() - 1, 16);
@@ -775,15 +979,32 @@ mod tests {
         for _ in 0..8 {
             assert!(net
                 .router
-                .select_waypoint(&net.topo, net.endpoints[0], net.endpoints[1], &probe, &mut rng)
+                .select_waypoint(
+                    &net.topo,
+                    net.endpoints[0],
+                    net.endpoints[1],
+                    &probe,
+                    &mut rng
+                )
                 .is_none());
         }
-        let d = p.rank_of(HxCoord { bi: 2, bj: 2, r: 0, c: 0 });
+        let d = p.rank_of(HxCoord {
+            bi: 2,
+            bj: 2,
+            r: 0,
+            c: 0,
+        });
         let mut some = 0;
         for _ in 0..32 {
             if net
                 .router
-                .select_waypoint(&net.topo, net.endpoints[0], net.endpoints[d], &probe, &mut rng)
+                .select_waypoint(
+                    &net.topo,
+                    net.endpoints[0],
+                    net.endpoints[d],
+                    &probe,
+                    &mut rng,
+                )
                 .is_some()
             {
                 some += 1;

@@ -24,12 +24,20 @@ pub struct HyperXParams {
 impl HyperXParams {
     /// The paper's small-cluster 32x32 2D HyperX (1,024 accelerators).
     pub fn small() -> Self {
-        Self { x: 32, y: 32, radix: 64 }
+        Self {
+            x: 32,
+            y: 32,
+            radix: 64,
+        }
     }
 
     /// The paper's large-cluster 128x128 2D HyperX (16,384 accelerators).
     pub fn large() -> Self {
-        Self { x: 128, y: 128, radix: 64 }
+        Self {
+            x: 128,
+            y: 128,
+            radix: 64,
+        }
     }
 
     pub fn num_accelerators(&self) -> usize {
@@ -38,7 +46,14 @@ impl HyperXParams {
 
     /// Equivalent HammingMesh parameterization (Hx1Mesh).
     pub fn as_hxmesh(&self) -> HxMeshParams {
-        HxMeshParams { a: 1, b: 1, x: self.x, y: self.y, taper: 0.0, radix: self.radix }
+        HxMeshParams {
+            a: 1,
+            b: 1,
+            x: self.x,
+            y: self.y,
+            taper: 0.0,
+            radix: self.radix,
+        }
     }
 
     pub fn build(&self) -> Network {
@@ -69,7 +84,12 @@ mod tests {
     fn hyperx_diameter_is_short() {
         // src -> row switch -> intermediate -> col switch -> dst: at most
         // 4 cable hops endpoint-to-endpoint for 1x1 boards... plus entry.
-        let net = HyperXParams { x: 8, y: 8, radix: 64 }.build();
+        let net = HyperXParams {
+            x: 8,
+            y: 8,
+            radix: 64,
+        }
+        .build();
         let d = net.topo.bfs_hops(net.endpoints[0]);
         let max = net.endpoints.iter().map(|e| d[e.idx()]).max().unwrap();
         assert!(max <= 4, "HyperX endpoint diameter {max} > 4");

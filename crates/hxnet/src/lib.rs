@@ -33,7 +33,9 @@ pub mod hyperx;
 pub mod route;
 pub mod torus;
 
-pub use graph::{Cable, Link, LinkSpec, Network, Node, NodeId, NodeKind, PortId, PortRef, Topology};
+pub use graph::{
+    Cable, Link, LinkSpec, Network, Node, NodeId, NodeKind, PortId, PortRef, Topology,
+};
 pub use route::Router;
 
 /// Link rate of a single 400 Gb/s port, expressed as picoseconds per byte.
@@ -53,10 +55,18 @@ pub const SWITCH_LATENCY_PS: u64 = 40_000;
 
 /// Convenience: the default [`LinkSpec`] for a 400 Gb/s cable link.
 pub fn cable_link(cable: Cable) -> LinkSpec {
-    LinkSpec { latency_ps: CABLE_LATENCY_PS, ps_per_byte: PS_PER_BYTE_400G, cable }
+    LinkSpec {
+        latency_ps: CABLE_LATENCY_PS,
+        ps_per_byte: PS_PER_BYTE_400G,
+        cable,
+    }
 }
 
 /// Convenience: the default [`LinkSpec`] for a 400 Gb/s on-board PCB trace.
 pub fn pcb_link() -> LinkSpec {
-    LinkSpec { latency_ps: PCB_LATENCY_PS, ps_per_byte: PS_PER_BYTE_400G, cable: Cable::Pcb }
+    LinkSpec {
+        latency_ps: PCB_LATENCY_PS,
+        ps_per_byte: PS_PER_BYTE_400G,
+        cable: Cable::Pcb,
+    }
 }

@@ -46,14 +46,7 @@ pub trait Router: Send + Sync {
     /// destination afterwards. Implementations must guarantee progress: the
     /// candidate set is non-empty whenever `node != target`, and following
     /// any sequence of candidates reaches `target` in finitely many hops.
-    fn candidates(
-        &self,
-        topo: &Topology,
-        node: NodeId,
-        vc: u8,
-        target: NodeId,
-        out: &mut Vec<Hop>,
-    );
+    fn candidates(&self, topo: &Topology, node: NodeId, vc: u8, target: NodeId, out: &mut Vec<Hop>);
 
     /// Source-side path selection, called once at injection. Returning
     /// `Some(w)` routes the packet to waypoint `w` first (per
@@ -74,6 +67,21 @@ pub trait Router: Send + Sync {
     /// group"; HammingMesh with "same board".
     fn waypoint_reached(&self, _topo: &Topology, node: NodeId, waypoint: NodeId) -> bool {
         node == waypoint
+    }
+
+    /// Enumerate the deterministic source-side path *classes* between
+    /// `src` and `dst` as waypoints, for consumers that want to use every
+    /// class at once (the flow-level engine splits a message into subflows
+    /// over the direct route plus each option returned here). Unlike
+    /// [`Router::select_waypoint`] this must not depend on load or
+    /// randomness. Default: no alternative classes (minimal routing only).
+    fn waypoint_options(
+        &self,
+        _topo: &Topology,
+        _src: NodeId,
+        _dst: NodeId,
+        _out: &mut Vec<NodeId>,
+    ) {
     }
 }
 
@@ -157,7 +165,9 @@ impl UpDownTable {
 
     /// Whether `target` is reachable going down from `node`.
     pub fn reaches_down(&self, node: NodeId, target: NodeId) -> bool {
-        self.down.get(&node).is_some_and(|m| m.contains_key(&target))
+        self.down
+            .get(&node)
+            .is_some_and(|m| m.contains_key(&target))
     }
 
     /// Appends up/down candidates at `node` for `target` on the given VC.
@@ -218,7 +228,10 @@ impl ShortestPathRouter {
                 dist[node][t] = dd;
             }
         }
-        Self { dist, endpoint_index }
+        Self {
+            dist,
+            endpoint_index,
+        }
     }
 
     pub fn distance(&self, node: NodeId, target: NodeId) -> u32 {
@@ -246,7 +259,10 @@ impl Router for ShortestPathRouter {
         }
         for (p, link) in topo.node(node).ports.iter().enumerate() {
             if self.dist[link.peer.node.idx()][ti] + 1 == d {
-                out.push(Hop { port: PortId(p as u16), vc });
+                out.push(Hop {
+                    port: PortId(p as u16),
+                    vc,
+                });
             }
         }
     }
@@ -258,7 +274,11 @@ mod tests {
     use crate::graph::{Cable, LinkSpec};
 
     fn spec() -> LinkSpec {
-        LinkSpec { latency_ps: 1000, ps_per_byte: 20.0, cable: Cable::Dac }
+        LinkSpec {
+            latency_ps: 1000,
+            ps_per_byte: 20.0,
+            cable: Cable::Dac,
+        }
     }
 
     /// Two endpoints under two leaves under one root.
@@ -284,10 +304,21 @@ mod tests {
             &levels,
             |sw, p| {
                 // Leaf switches: port 1 is up; root has no up ports.
-                t.kind(sw) == crate::graph::NodeKind::Switch { level: 0, group: 0, pos: 0 }
+                t.kind(sw)
+                    == crate::graph::NodeKind::Switch {
+                        level: 0,
+                        group: 0,
+                        pos: 0,
+                    }
                     && p == PortId(1)
-                    || matches!(t.kind(sw), crate::graph::NodeKind::Switch { level: 0, pos: 1, .. })
-                        && p == PortId(1)
+                    || matches!(
+                        t.kind(sw),
+                        crate::graph::NodeKind::Switch {
+                            level: 0,
+                            pos: 1,
+                            ..
+                        }
+                    ) && p == PortId(1)
             },
             |sw, p| {
                 let peer = t.peer(sw, p).node;
@@ -297,15 +328,33 @@ mod tests {
         // At leaf l0, target e1: must go up.
         let mut out = Vec::new();
         assert!(table.candidates(levels[0][0], eps[1], 0, &mut out));
-        assert_eq!(out, vec![Hop { port: PortId(1), vc: 0 }]);
+        assert_eq!(
+            out,
+            vec![Hop {
+                port: PortId(1),
+                vc: 0
+            }]
+        );
         // At root, target e1: down port 1.
         out.clear();
         assert!(table.candidates(levels[1][0], eps[1], 0, &mut out));
-        assert_eq!(out, vec![Hop { port: PortId(1), vc: 0 }]);
+        assert_eq!(
+            out,
+            vec![Hop {
+                port: PortId(1),
+                vc: 0
+            }]
+        );
         // At leaf l1, target e1: down port 0.
         out.clear();
         assert!(table.candidates(levels[0][1], eps[1], 0, &mut out));
-        assert_eq!(out, vec![Hop { port: PortId(0), vc: 0 }]);
+        assert_eq!(
+            out,
+            vec![Hop {
+                port: PortId(0),
+                vc: 0
+            }]
+        );
     }
 
     #[test]

@@ -36,12 +36,20 @@ pub struct TorusParams {
 impl TorusParams {
     /// The paper's small-cluster 32x32 torus with 2x2 boards.
     pub fn small() -> Self {
-        Self { cols: 32, rows: 32, board: 2 }
+        Self {
+            cols: 32,
+            rows: 32,
+            board: 2,
+        }
     }
 
     /// The paper's large-cluster 128x128 torus with 2x2 boards.
     pub fn large() -> Self {
-        Self { cols: 128, rows: 128, board: 2 }
+        Self {
+            cols: 128,
+            rows: 128,
+            board: 2,
+        }
     }
 
     pub fn num_accelerators(&self) -> usize {
@@ -65,7 +73,11 @@ impl TorusParams {
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let c2 = (c + 1) % self.cols;
-                let spec = if c2 != 0 && same_board(c, c2) { pcb_link() } else { cable_link(Cable::Aoc) };
+                let spec = if c2 != 0 && same_board(c, c2) {
+                    pcb_link()
+                } else {
+                    cable_link(Cable::Aoc)
+                };
                 let (pe, pw) = topo.connect(at(r, c), at(r, c2), spec);
                 ports[at(r, c).idx()][EAST] = pe;
                 ports[at(r, c2).idx()][WEST] = pw;
@@ -75,14 +87,22 @@ impl TorusParams {
         for c in 0..self.cols {
             for r in 0..self.rows {
                 let r2 = (r + 1) % self.rows;
-                let spec = if r2 != 0 && same_board(r, r2) { pcb_link() } else { cable_link(Cable::Aoc) };
+                let spec = if r2 != 0 && same_board(r, r2) {
+                    pcb_link()
+                } else {
+                    cable_link(Cable::Aoc)
+                };
                 let (ps, pn) = topo.connect(at(r, c), at(r2, c), spec);
                 ports[at(r, c).idx()][SOUTH] = ps;
                 ports[at(r2, c).idx()][NORTH] = pn;
             }
         }
 
-        let router = TorusRouter { cols: self.cols as u16, rows: self.rows as u16, ports };
+        let router = TorusRouter {
+            cols: self.cols as u16,
+            rows: self.rows as u16,
+            ports,
+        };
         Network {
             topo,
             endpoints,
@@ -143,12 +163,18 @@ impl Router for TorusRouter {
             if fwd <= bwd {
                 // East; wraps when c == cols-1.
                 let nvc = if c == self.cols - 1 { 1 } else { base };
-                out.push(Hop { port: slots[EAST], vc: nvc });
+                out.push(Hop {
+                    port: slots[EAST],
+                    vc: nvc,
+                });
             }
             if bwd <= fwd {
                 // West; wraps when c == 0.
                 let nvc = if c == 0 { 1 } else { base };
-                out.push(Hop { port: slots[WEST], vc: nvc });
+                out.push(Hop {
+                    port: slots[WEST],
+                    vc: nvc,
+                });
             }
         } else {
             // Y phase: VCs {2,3}; entering resets the dateline bit.
@@ -157,11 +183,17 @@ impl Router for TorusRouter {
             if fwd <= bwd {
                 // South (increasing row); wraps when r == rows-1.
                 let nvc = 2 + if r == self.rows - 1 { 1 } else { base };
-                out.push(Hop { port: slots[SOUTH], vc: nvc });
+                out.push(Hop {
+                    port: slots[SOUTH],
+                    vc: nvc,
+                });
             }
             if bwd <= fwd {
                 let nvc = 2 + if r == 0 { 1 } else { base };
-                out.push(Hop { port: slots[NORTH], vc: nvc });
+                out.push(Hop {
+                    port: slots[NORTH],
+                    vc: nvc,
+                });
             }
         }
     }
@@ -202,7 +234,12 @@ mod tests {
 
     #[test]
     fn routing_takes_shortest_way_around() {
-        let net = TorusParams { cols: 8, rows: 8, board: 2 }.build();
+        let net = TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
         // col 0 -> col 7 is 1 hop west (wrap).
         assert_eq!(walk(&net, 0, 7), 1);
         // col 0 -> col 4 is 4 hops either way.
@@ -213,7 +250,12 @@ mod tests {
 
     #[test]
     fn exhaustive_routing_on_tiny_torus() {
-        let net = TorusParams { cols: 4, rows: 4, board: 2 }.build();
+        let net = TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build();
         for s in 0..16 {
             for d in 0..16 {
                 if s != d {
@@ -226,7 +268,12 @@ mod tests {
 
     #[test]
     fn vcs_stay_in_range() {
-        let net = TorusParams { cols: 6, rows: 6, board: 2 }.build();
+        let net = TorusParams {
+            cols: 6,
+            rows: 6,
+            board: 2,
+        }
+        .build();
         for s in 0..36 {
             for d in 0..36 {
                 if s == d {
@@ -250,7 +297,12 @@ mod tests {
 
     #[test]
     fn dateline_bumps_vc_on_wrap() {
-        let net = TorusParams { cols: 8, rows: 8, board: 2 }.build();
+        let net = TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
         // 0 -> 7 goes west through the wrap: vc must become 1.
         let (sn, dn) = (net.endpoints[0], net.endpoints[7]);
         let mut cand = Vec::new();

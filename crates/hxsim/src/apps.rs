@@ -17,7 +17,10 @@ pub struct MessageBlast {
 
 impl MessageBlast {
     pub fn pairs(sends: Vec<(u32, u32, u64)>) -> Self {
-        Self { sends, completions: Vec::new() }
+        Self {
+            sends,
+            completions: Vec::new(),
+        }
     }
 }
 
@@ -29,7 +32,8 @@ impl Application for MessageBlast {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, info: MsgInfo) {
-        self.completions.push((info.src_rank, info.dst_rank, ctx.now()));
+        self.completions
+            .push((info.src_rank, info.dst_rank, ctx.now()));
     }
 }
 
@@ -116,7 +120,12 @@ impl Permutation {
                 break;
             }
         }
-        Self { perm, bytes, rounds: rounds.max(1), sent: vec![0; p] }
+        Self {
+            perm,
+            bytes,
+            rounds: rounds.max(1),
+            sent: vec![0; p],
+        }
     }
 
     pub fn destination(&self, rank: usize) -> u32 {
@@ -158,7 +167,13 @@ pub struct UniformRandom {
 
 impl UniformRandom {
     pub fn new(p: usize, bytes: u64, count: u32, seed: u64) -> Self {
-        Self { p: p as u32, bytes, count, seed, remaining: vec![count; p] }
+        Self {
+            p: p as u32,
+            bytes,
+            count,
+            seed,
+            remaining: vec![count; p],
+        }
     }
 
     fn issue(&mut self, ctx: &mut Ctx, rank: u32, rng: &mut StdRng) {
@@ -237,7 +252,12 @@ mod tests {
 
     #[test]
     fn permutation_completes_on_torus() {
-        let net = TorusParams { cols: 4, rows: 4, board: 2 }.build();
+        let net = TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build();
         let mut app = Permutation::new(net.num_ranks(), 32 * 1024, 2, 7);
         let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
         assert!(stats.clean(), "{stats:?}");
@@ -248,15 +268,34 @@ mod tests {
     fn uniform_random_is_deadlock_free_on_all_topologies() {
         let nets = vec![
             HxMeshParams::square(2, 4).build(),
-            TorusParams { cols: 8, rows: 8, board: 2 }.build(),
-            hxnet::dragonfly::DragonflyParams { a: 4, p: 2, h: 2, groups: 5 }.build(),
+            TorusParams {
+                cols: 8,
+                rows: 8,
+                board: 2,
+            }
+            .build(),
+            hxnet::dragonfly::DragonflyParams {
+                a: 4,
+                p: 2,
+                h: 2,
+                groups: 5,
+            }
+            .build(),
             hxnet::fattree::FatTreeParams::scaled_nonblocking(64, 16).build(),
-            hxnet::hyperx::HyperXParams { x: 8, y: 8, radix: 64 }.build(),
+            hxnet::hyperx::HyperXParams {
+                x: 8,
+                y: 8,
+                radix: 64,
+            }
+            .build(),
         ];
         for net in &nets {
             let mut app = UniformRandom::new(net.num_ranks(), 24 * 1024, 8, 99);
             // 200 ms guard
-            let cfg = SimConfig { max_time_ps: 200_000_000_000, ..Default::default() };
+            let cfg = SimConfig {
+                max_time_ps: 200_000_000_000,
+                ..Default::default()
+            };
             let stats = Engine::new(net, cfg).run(&mut app);
             assert!(stats.clean(), "{}: {stats:?}", net.name);
         }
@@ -267,7 +306,9 @@ mod tests {
         let net = HxMeshParams::square(2, 2).build();
         let run = || {
             let mut app = Alltoall::new(net.num_ranks(), 8192, 1);
-            Engine::new(&net, SimConfig::default()).run(&mut app).finish_ps
+            Engine::new(&net, SimConfig::default())
+                .run(&mut app)
+                .finish_ps
         };
         assert_eq!(run(), run());
     }

@@ -1,5 +1,6 @@
-//! The discrete-event simulation engine.
+//! The packet-level discrete-event simulation engine.
 
+pub use crate::app::{Application, Cmd, Ctx, MsgInfo};
 use crate::stats::SimStats;
 use crate::Time;
 use hxnet::route::LoadProbe;
@@ -56,67 +57,6 @@ impl Default for SimConfig {
             max_time_ps: Time::MAX,
         }
     }
-}
-
-/// Description of a delivered message, passed to application callbacks.
-#[derive(Clone, Copy, Debug)]
-pub struct MsgInfo {
-    pub src_rank: u32,
-    pub dst_rank: u32,
-    pub bytes: u64,
-    pub tag: u64,
-}
-
-/// Commands an application can issue from its callbacks.
-#[derive(Clone, Copy, Debug)]
-pub enum Cmd {
-    /// Send `bytes` from rank `src` to rank `dst`, labelled `tag`.
-    Send { src: u32, dst: u32, bytes: u64, tag: u64 },
-    /// Simulate `ps` of local computation on `rank`, then call
-    /// [`Application::on_compute_done`] with `tag`.
-    Compute { rank: u32, ps: Time, tag: u64 },
-}
-
-/// Context handed to application callbacks. Commands are buffered and
-/// executed by the engine after the callback returns.
-pub struct Ctx<'a> {
-    now: Time,
-    cmds: &'a mut Vec<Cmd>,
-}
-
-impl Ctx<'_> {
-    #[inline]
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    #[inline]
-    pub fn send(&mut self, src: u32, dst: u32, bytes: u64, tag: u64) {
-        assert!(bytes > 0, "zero-byte sends are not modelled");
-        self.cmds.push(Cmd::Send { src, dst, bytes, tag });
-    }
-
-    #[inline]
-    pub fn compute(&mut self, rank: u32, ps: Time, tag: u64) {
-        self.cmds.push(Cmd::Compute { rank, ps, tag });
-    }
-}
-
-/// Traffic generator interface. All callbacks run at simulated time
-/// `ctx.now()`.
-pub trait Application {
-    /// Called once at time 0 to kick off traffic.
-    fn start(&mut self, ctx: &mut Ctx);
-
-    /// A message has been fully delivered to `info.dst_rank`.
-    fn on_message(&mut self, ctx: &mut Ctx, info: MsgInfo);
-
-    /// All packets of the message have left the source NIC (the local send
-    /// buffer may be reused — MPI-style local completion).
-    fn on_send_complete(&mut self, _ctx: &mut Ctx, _info: MsgInfo) {}
-
-    /// A [`Cmd::Compute`] issued by this application finished.
-    fn on_compute_done(&mut self, _ctx: &mut Ctx, _rank: u32, _tag: u64) {}
 }
 
 type PacketId = u32;
@@ -261,7 +201,7 @@ impl<'n> Engine<'n> {
     pub fn run(mut self, app: &mut dyn Application) -> SimStats {
         let mut cmds = Vec::new();
         {
-            let mut ctx = Ctx { now: 0, cmds: &mut cmds };
+            let mut ctx = Ctx::new(0, &mut cmds);
             app.start(&mut ctx);
         }
         self.apply_cmds(&mut cmds, app);
@@ -276,13 +216,17 @@ impl<'n> Engine<'n> {
             self.stats.events += 1;
             match ev {
                 Event::Arrive(node, port, pkt) => self.on_arrive(node, port, pkt, app),
-                Event::PortFree { node, port, msg, bytes, release } => {
-                    self.on_port_free(node, port, msg, bytes, release, app)
-                }
+                Event::PortFree {
+                    node,
+                    port,
+                    msg,
+                    bytes,
+                    release,
+                } => self.on_port_free(node, port, msg, bytes, release, app),
                 Event::Compute(rank, tag) => {
                     let mut cmds = Vec::new();
                     {
-                        let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                        let mut ctx = Ctx::new(self.now, &mut cmds);
                         app.on_compute_done(&mut ctx, rank, tag);
                     }
                     self.apply_cmds(&mut cmds, app);
@@ -316,7 +260,12 @@ impl<'n> Engine<'n> {
         // time — but computes with 0 ps are executed inline).
         while let Some(cmd) = cmds.pop() {
             match cmd {
-                Cmd::Send { src, dst, bytes, tag } => self.start_send(src, dst, bytes, tag),
+                Cmd::Send {
+                    src,
+                    dst,
+                    bytes,
+                    tag,
+                } => self.start_send(src, dst, bytes, tag),
                 Cmd::Compute { rank, ps, tag } => {
                     self.push_event(self.now + ps, Event::Compute(rank, tag));
                 }
@@ -332,7 +281,12 @@ impl<'n> Engine<'n> {
         let msg_id = self.msgs.len() as MsgId;
         let num_packets = bytes.div_ceil(self.cfg.packet_bytes) as u32;
         self.msgs.push(MsgState {
-            info: MsgInfo { src_rank: src, dst_rank: dst, bytes, tag },
+            info: MsgInfo {
+                src_rank: src,
+                dst_rank: dst,
+                bytes,
+                tag,
+            },
             num_packets,
             delivered_packets: 0,
             injected_packets: 0,
@@ -415,7 +369,9 @@ impl<'n> Engine<'n> {
             };
             let mut cand = std::mem::take(&mut self.cand);
             cand.clear();
-            self.net.router.candidates(&self.net.topo, node, vc, target, &mut cand);
+            self.net
+                .router
+                .candidates(&self.net.topo, node, vc, target, &mut cand);
             let min_q = cand
                 .iter()
                 .map(|h| self.nodes[node.idx()].out[h.port.idx()].queued_bytes)
@@ -445,7 +401,9 @@ impl<'n> Engine<'n> {
         debug_assert_ne!(node, target, "routing a packet already at its target");
         let mut cand = std::mem::take(&mut self.cand);
         cand.clear();
-        self.net.router.candidates(&self.net.topo, node, vc, target, &mut cand);
+        self.net
+            .router
+            .candidates(&self.net.topo, node, vc, target, &mut cand);
         assert!(
             !cand.is_empty(),
             "router produced no candidates at {node:?} (vc {vc}) toward {target:?}"
@@ -539,12 +497,19 @@ impl<'n> Engine<'n> {
         self.stats.node_forwarded[node.idx()] += 1;
         // The packet now holds the downstream buffer; remember the buffer
         // it held before so PortFree can release it after serialization.
-        let prev_held =
-            self.packets[pkt as usize].held.replace((peer.node, peer.port, vc));
+        let prev_held = self.packets[pkt as usize]
+            .held
+            .replace((peer.node, peer.port, vc));
         let msg = self.packets[pkt as usize].msg;
         self.push_event(
             self.now + ser,
-            Event::PortFree { node, port, msg, bytes: bytes as u32, release: prev_held },
+            Event::PortFree {
+                node,
+                port,
+                msg,
+                bytes: bytes as u32,
+                release: prev_held,
+            },
         );
         let fwd_ser = if self.cfg.cut_through {
             (bytes.min(self.cfg.flit_bytes) as f64 * link.spec.ps_per_byte).round() as u64
@@ -577,7 +542,7 @@ impl<'n> Engine<'n> {
                 let info = m.info;
                 let mut cmds = Vec::new();
                 {
-                    let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                    let mut ctx = Ctx::new(self.now, &mut cmds);
                     app.on_send_complete(&mut ctx, info);
                 }
                 self.apply_cmds(&mut cmds, app);
@@ -626,16 +591,25 @@ impl<'n> Engine<'n> {
                 debug_assert_eq!(m.delivered_bytes, m.info.bytes);
                 let info = m.info;
                 self.stats.messages_delivered += 1;
-                self.stats
-                    .rank_recv_done_ps
-                    .resize(self.net.endpoints.len().max(self.stats.rank_recv_done_ps.len()), 0);
+                self.stats.rank_recv_done_ps.resize(
+                    self.net
+                        .endpoints
+                        .len()
+                        .max(self.stats.rank_recv_done_ps.len()),
+                    0,
+                );
                 self.stats.rank_recv_done_ps[info.dst_rank as usize] = self.now;
-                self.stats.rank_recv_bytes
-                    .resize(self.net.endpoints.len().max(self.stats.rank_recv_bytes.len()), 0);
+                self.stats.rank_recv_bytes.resize(
+                    self.net
+                        .endpoints
+                        .len()
+                        .max(self.stats.rank_recv_bytes.len()),
+                    0,
+                );
                 self.stats.rank_recv_bytes[info.dst_rank as usize] += info.bytes;
                 let mut cmds = Vec::new();
                 {
-                    let mut ctx = Ctx { now: self.now, cmds: &mut cmds };
+                    let mut ctx = Ctx::new(self.now, &mut cmds);
                     app.on_message(&mut ctx, info);
                 }
                 self.apply_cmds(&mut cmds, app);
@@ -652,15 +626,18 @@ impl<'n> Engine<'n> {
 #[allow(dead_code)]
 trait EngineGuard {}
 
-
 impl Engine<'_> {
     /// Diagnostic: describe packets still in flight (for deadlock hunts).
     pub fn dump_stuck(&self) -> Vec<String> {
         let mut out = Vec::new();
         for (i, p) in self.packets.iter().enumerate() {
-            if self.free_packets.contains(&(i as u32)) { continue; }
+            if self.free_packets.contains(&(i as u32)) {
+                continue;
+            }
             let m = &self.msgs[p.msg as usize];
-            if m.delivered_packets >= m.num_packets { continue; }
+            if m.delivered_packets >= m.num_packets {
+                continue;
+            }
             out.push(format!(
                 "pkt{} msg{} {}->{} vc{} held={:?} waypoint={:?}",
                 i, p.msg, m.info.src_rank, m.info.dst_rank, p.vc, p.held, p.waypoint
@@ -680,8 +657,15 @@ impl Engine<'_> {
             }
             for (si, w) in n.waiters.iter().enumerate() {
                 if !w.is_empty() {
-                    out.push(format!("node{} slot{} (port {}, vc {}) occ={} waiters={:?}",
-                        ni, si, si / self.num_vcs, si % self.num_vcs, n.in_occ[si], w));
+                    out.push(format!(
+                        "node{} slot{} (port {}, vc {}) occ={} waiters={:?}",
+                        ni,
+                        si,
+                        si / self.num_vcs,
+                        si % self.num_vcs,
+                        n.in_occ[si],
+                        w
+                    ));
                 }
             }
         }

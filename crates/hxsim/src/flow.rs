@@ -1,0 +1,873 @@
+//! Flow-level fluid simulation engine — the fast path.
+//!
+//! Instead of moving individual packets through buffered switches, this
+//! backend models every in-flight message as a *fluid flow* spread over a
+//! small set of routes (one per minimal first-hop candidate, plus one set
+//! per router-provided waypoint class — e.g. the HxMesh column-first
+//! path). Link bandwidth is shared between the routes crossing it by
+//! **max-min fairness** (progressive filling); a message drains at the sum
+//! of its routes' fair shares, mirroring how the packet engine sprays
+//! packets over all minimal paths. Simulated time advances in
+//! *rate-change epochs*: the engine jumps directly to the next instant at
+//! which the allocation can change (a message drains, a delivery or a
+//! compute completes) instead of executing per-packet events.
+//!
+//! ## Fidelity trade-offs versus the packet engine
+//!
+//! * Routes are fixed at injection; the packet engine re-balances every
+//!   packet against live queue depths.
+//! * No buffer occupancy, credit stalls, or head-of-line blocking: links
+//!   are ideal rate servers, so congestion spreads instantaneously.
+//! * Propagation and per-hop pipeline latency are charged once per message
+//!   (after the last byte drains) instead of per packet, which
+//!   under-reports pipelining for multi-packet messages on long paths.
+//!
+//! In exchange the run time is proportional to the number of rate-change
+//! epochs (~2 per message), independent of message size — per-packet
+//! events make the packet engine's cost grow linearly with bytes. At
+//! paper scale (Figs. 11-13: MiB-sized transfers over 1,024+ endpoints)
+//! this is the difference between minutes and seconds. Completion times
+//! agree with the packet engine within the cross-validation tolerance
+//! asserted in `tests/flow_vs_packet.rs` and documented in the README.
+//!
+//! Routes avoid links marked failed via [`hxnet::Topology::fail_link`]
+//! exactly like the packet engine does, because both ask the same
+//! [`hxnet::Router`] for candidates.
+
+use crate::app::{Application, Cmd, Ctx, MsgInfo};
+use crate::stats::SimStats;
+use crate::{SimConfig, Time};
+use hxnet::route::Hop;
+use hxnet::{Network, NodeId, PortId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type FlowId = u32;
+type MsgId = u32;
+
+/// Bytes below which a flow counts as drained (float slop guard).
+const DRAIN_EPS: f64 = 1e-3;
+
+/// Water-filling level slack: every route whose own bottleneck share is
+/// within this factor of the round's tightest share freezes in the same
+/// round, at its own share. Collapses clusters of near-identical levels
+/// (ubiquitous under symmetric traffic) into one round each; the rate
+/// assignment error is bounded by the slack and only affects routes whose
+/// fair share was within 5% of the level anyway.
+const LEVEL_SLACK: f64 = 0.05;
+
+/// Epoch coalescing: drains and timed events within this *relative* window
+/// of the epoch instant are processed together, so waves of
+/// near-simultaneous completions (staggered by float-level rate
+/// differences, e.g. the per-step chunks of a pipelined ring) cost one
+/// rate recomputation instead of hundreds. Bounds the per-event timing
+/// error at 0.1% of elapsed simulated time — two orders of magnitude
+/// below the flow-vs-packet cross-validation tolerance.
+const COALESCE_REL: f64 = 1e-3;
+
+/// Absolute floor of the coalescing window, in picoseconds (1 ns).
+const COALESCE_ABS_PS: f64 = 1_000.0;
+
+/// One route of a flow: dense directed-link indices, the current max-min
+/// share, and the bytes it has carried so far (for traffic accounting).
+struct Route {
+    links: Vec<u32>,
+    rate: f64,
+    carried: f64,
+}
+
+/// One in-flight message, fluid over its set of routes.
+struct FlowState {
+    msg: MsgId,
+    routes: Vec<Route>,
+    /// Worst-case route latency: propagation + per-hop pipeline latency.
+    latency_ps: u64,
+    remaining: f64,
+    /// Aggregate rate over all routes in bytes/ps.
+    rate: f64,
+    /// Waiting in the NIC injection queues (see `inj_queue`), not draining.
+    gated: bool,
+    /// Message exceeds the per-port NIC window: its packets would
+    /// interleave with successors instead of passing as one FIFO burst.
+    large: bool,
+}
+
+struct MsgState {
+    info: MsgInfo,
+    done: bool,
+}
+
+/// Timed events that are not flow drains (those are derived from rates).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Event {
+    /// A drained message's last byte reaches the destination.
+    Deliver(MsgId),
+    /// Application compute finished on (rank, tag).
+    Compute(u32, u64),
+}
+
+/// Heap key ordering f64 times; all simulation times are finite and >= 0.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The flow-level simulation engine, borrowed over a [`Network`].
+///
+/// Drop-in interchangeable with the packet-level [`crate::Engine`]: same
+/// constructor shape, same [`Application`] surface, same [`SimStats`] out.
+pub struct FlowEngine<'n> {
+    net: &'n Network,
+    cfg: SimConfig,
+    now: f64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(TimeKey, u64, Event)>>,
+    flows: Vec<FlowState>,
+    free_flows: Vec<FlowId>,
+    /// Flows currently draining.
+    active: Vec<FlowId>,
+    msgs: Vec<MsgState>,
+    /// Dense directed-link index: `port_base[node] + port`.
+    port_base: Vec<usize>,
+    /// Reverse of the dense index, for stats attribution.
+    link_owner: Vec<(NodeId, PortId)>,
+    /// Per directed link: capacity in bytes/ps (from the link spec).
+    link_cap: Vec<f64>,
+    /// Per directed link: number of active routes crossing it.
+    link_nflows: Vec<u32>,
+    /// Water-filling scratch, persistent to stay allocation-free: links
+    /// touched this round, per-link residual capacity / unsatisfied count,
+    /// and the generation stamp that lazily invalidates them.
+    touched: Vec<usize>,
+    residual: Vec<f64>,
+    unsat: Vec<u32>,
+    /// Per touched link, the fair share at the current level (refreshed
+    /// once per water-filling round so route scans are division-free).
+    share: Vec<f64>,
+    link_gen: Vec<u32>,
+    rate_gen: u32,
+    /// Water-filling worklist of (flow, route) units still unassigned.
+    pending: Vec<(FlowId, u32)>,
+    /// NIC injection FIFO per directed link (indexed like `link_cap`; only
+    /// endpoint injection ports are ever populated). Mirrors the packet
+    /// engine's per-port NIC window: a message that fits the window
+    /// traverses the port as one FIFO burst, so flows queued behind it
+    /// wait for its drain — that serialization is what keeps
+    /// dependency-chained pipelines (ring collectives) honest. Messages
+    /// larger than the window interleave packet-by-packet in the packet
+    /// engine, so flows behind them fair-share immediately.
+    inj_queue: Vec<Vec<FlowId>>,
+    /// Recycled route link-vectors, to keep steady state allocation-free.
+    spare_links: Vec<Vec<u32>>,
+    stats: SimStats,
+    /// Scratch for routing candidates.
+    cand: Vec<Hop>,
+    /// Scratch for waypoint classes.
+    waypoints: Vec<NodeId>,
+}
+
+impl<'n> FlowEngine<'n> {
+    pub fn new(net: &'n Network, cfg: SimConfig) -> Self {
+        let mut port_base = Vec::with_capacity(net.topo.num_nodes() + 1);
+        let mut total = 0usize;
+        for (_, n) in net.topo.nodes() {
+            port_base.push(total);
+            total += n.ports.len();
+        }
+        port_base.push(total);
+        let mut link_cap = vec![0.0; total];
+        let mut link_owner = vec![(NodeId(0), PortId(0)); total];
+        for (id, n) in net.topo.nodes() {
+            for (p, link) in n.ports.iter().enumerate() {
+                link_cap[port_base[id.idx()] + p] = 1.0 / link.spec.ps_per_byte;
+                link_owner[port_base[id.idx()] + p] = (id, PortId(p as u16));
+            }
+        }
+        Self {
+            net,
+            cfg,
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            flows: Vec::new(),
+            free_flows: Vec::new(),
+            active: Vec::new(),
+            msgs: Vec::new(),
+            port_base,
+            link_owner,
+            link_cap,
+            link_nflows: vec![0; total],
+            touched: Vec::new(),
+            residual: vec![0.0; total],
+            unsat: vec![0; total],
+            share: vec![0.0; total],
+            link_gen: vec![0; total],
+            rate_gen: 0,
+            pending: Vec::new(),
+            inj_queue: vec![Vec::new(); total],
+            spare_links: Vec::new(),
+            stats: SimStats {
+                node_forwarded: vec![0; net.topo.num_nodes()],
+                ..SimStats::default()
+            },
+            cand: Vec::new(),
+            waypoints: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn link_idx(&self, node: NodeId, port: PortId) -> u32 {
+        (self.port_base[node.idx()] + port.idx()) as u32
+    }
+
+    #[inline]
+    fn push_event(&mut self, t: f64, e: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse((TimeKey(t), self.seq, e)));
+    }
+
+    /// Run the application to completion. Returns the collected statistics.
+    pub fn run(mut self, app: &mut dyn Application) -> SimStats {
+        let mut cmds = Vec::new();
+        {
+            let mut ctx = Ctx::new(0, &mut cmds);
+            app.start(&mut ctx);
+        }
+        self.apply_cmds(&mut cmds, app);
+        self.recompute_rates();
+
+        loop {
+            // Next rate-change instant: earliest flow drain or timed event.
+            let mut t_next = f64::INFINITY;
+            for &f in &self.active {
+                let fl = &self.flows[f as usize];
+                if fl.rate > 0.0 {
+                    t_next = t_next.min(self.now + fl.remaining / fl.rate);
+                }
+            }
+            if let Some(Reverse((TimeKey(t), _, _))) = self.queue.peek() {
+                t_next = t_next.min(*t);
+            }
+            if !t_next.is_finite() {
+                break; // no active flows and no events: done (or stuck)
+            }
+            if t_next > self.cfg.max_time_ps as f64 {
+                self.now = self.cfg.max_time_ps as f64;
+                self.stats.timed_out = true;
+                break;
+            }
+            self.stats.events += 1;
+
+            // Advance every active flow to t_next at its current rates.
+            let dt = t_next - self.now;
+            self.now = t_next;
+            for &f in &self.active {
+                let fl = &mut self.flows[f as usize];
+                fl.remaining -= fl.rate * dt;
+                for r in &mut fl.routes {
+                    r.carried += r.rate * dt;
+                }
+            }
+
+            let quantum = (self.now * COALESCE_REL).max(COALESCE_ABS_PS);
+            let mut dirty = false;
+            dirty |= self.complete_drained_flows(quantum, app);
+            dirty |= self.pop_due_events(quantum, app);
+            if dirty {
+                self.recompute_rates();
+            }
+        }
+
+        self.stats.finish_ps = self.now.round() as Time;
+        self.stats.undelivered_messages = self.msgs.iter().filter(|m| !m.done).count();
+        self.stats
+    }
+
+    /// Retire flows whose bytes have fully drained — or would drain within
+    /// the coalescing `quantum` at their current rate (their residual
+    /// bytes are credited to the routes, so byte accounting stays exact
+    /// and only the completion *instant* moves by < quantum). Fires local
+    /// send completion and schedules the latency-delayed delivery.
+    /// Returns true if any flow ended (rates must be recomputed).
+    fn complete_drained_flows(&mut self, quantum: f64, app: &mut dyn Application) -> bool {
+        let mut any = false;
+        let mut cmds = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let f = self.active[i];
+            {
+                let fl = &mut self.flows[f as usize];
+                if fl.remaining > DRAIN_EPS + fl.rate * quantum {
+                    i += 1;
+                    continue;
+                }
+                // Credit the not-yet-drained residue to the routes,
+                // proportionally to their rates.
+                if fl.remaining > 0.0 && fl.rate > 0.0 {
+                    let scale = fl.remaining / fl.rate;
+                    for r in &mut fl.routes {
+                        r.carried += r.rate * scale;
+                    }
+                }
+                fl.remaining = 0.0;
+            }
+            any = true;
+            self.active.swap_remove(i);
+            // Release the NIC injection FIFOs and let successors through.
+            let mut candidates: Vec<FlowId> = Vec::new();
+            for li in Self::first_links(&self.flows[f as usize].routes) {
+                let q = &mut self.inj_queue[li as usize];
+                let pos = q
+                    .iter()
+                    .position(|&g| g == f)
+                    .expect("flow missing from NIC queue");
+                q.remove(pos);
+                for &g in q.iter() {
+                    if self.flows[g as usize].gated && !candidates.contains(&g) {
+                        candidates.push(g);
+                    }
+                }
+            }
+            for g in candidates {
+                if self.flows[g as usize].gated && self.nic_eligible(g) {
+                    self.flows[g as usize].gated = false;
+                    self.active.push(g);
+                }
+            }
+            let fl = &mut self.flows[f as usize];
+            let (msg, latency_ps) = (fl.msg, fl.latency_ps);
+            let pkt_bytes = self.cfg.packet_bytes as f64;
+            for mut r in fl.routes.drain(..) {
+                // Packet-equivalent traffic accounting at drain time; the
+                // per-route byte split is what the fluid model carried.
+                let pkts = (r.carried / pkt_bytes).ceil() as u64;
+                self.stats.packets_forwarded += pkts * r.links.len() as u64;
+                for &li in &r.links {
+                    let (n, _) = self.link_owner[li as usize];
+                    self.stats.node_forwarded[n.idx()] += pkts;
+                    self.stats.total_link_busy_ps +=
+                        (r.carried / self.link_cap[li as usize]).round() as u64;
+                    debug_assert!(self.link_nflows[li as usize] > 0);
+                    self.link_nflows[li as usize] -= 1;
+                }
+                r.links.clear();
+                self.spare_links.push(r.links);
+            }
+            self.free_flows.push(f);
+
+            let info = self.msgs[msg as usize].info;
+            let now_ps = self.now.round() as Time;
+            {
+                let mut ctx = Ctx::new(now_ps, &mut cmds);
+                app.on_send_complete(&mut ctx, info);
+            }
+            // The last byte still has to propagate down the route.
+            self.push_event(self.now + latency_ps as f64, Event::Deliver(msg));
+        }
+        if !cmds.is_empty() {
+            self.apply_cmds(&mut cmds, app);
+        }
+        any
+    }
+
+    /// Execute all queue events due at the current time, plus any within
+    /// the coalescing `quantum` (they fire early by < quantum). Returns
+    /// true if any application command created or could create new flows.
+    fn pop_due_events(&mut self, quantum: f64, app: &mut dyn Application) -> bool {
+        let mut dirty = false;
+        let now_ps = self.now.round() as Time;
+        while let Some(&Reverse((TimeKey(t), _, _))) = self.queue.peek() {
+            if t > self.now + quantum {
+                break;
+            }
+            let Some(Reverse((_, _, ev))) = self.queue.pop() else {
+                unreachable!()
+            };
+            let mut cmds = Vec::new();
+            match ev {
+                Event::Deliver(msg) => {
+                    let m = &mut self.msgs[msg as usize];
+                    debug_assert!(!m.done);
+                    m.done = true;
+                    let info = m.info;
+                    self.stats.messages_delivered += 1;
+                    self.stats.bytes_delivered += info.bytes;
+                    let nranks = self.net.endpoints.len();
+                    self.stats
+                        .rank_recv_done_ps
+                        .resize(nranks.max(self.stats.rank_recv_done_ps.len()), 0);
+                    self.stats.rank_recv_done_ps[info.dst_rank as usize] = now_ps;
+                    self.stats
+                        .rank_recv_bytes
+                        .resize(nranks.max(self.stats.rank_recv_bytes.len()), 0);
+                    self.stats.rank_recv_bytes[info.dst_rank as usize] += info.bytes;
+                    let mut ctx = Ctx::new(now_ps, &mut cmds);
+                    app.on_message(&mut ctx, info);
+                }
+                Event::Compute(rank, tag) => {
+                    let mut ctx = Ctx::new(now_ps, &mut cmds);
+                    app.on_compute_done(&mut ctx, rank, tag);
+                }
+            }
+            if !cmds.is_empty() {
+                self.apply_cmds(&mut cmds, app);
+                dirty = true;
+            }
+        }
+        dirty
+    }
+
+    fn apply_cmds(&mut self, cmds: &mut Vec<Cmd>, app: &mut dyn Application) {
+        let _ = app;
+        while let Some(cmd) = cmds.pop() {
+            match cmd {
+                Cmd::Send {
+                    src,
+                    dst,
+                    bytes,
+                    tag,
+                } => self.start_send(src, dst, bytes, tag),
+                Cmd::Compute { rank, ps, tag } => {
+                    self.push_event(self.now + ps as f64, Event::Compute(rank, tag));
+                }
+            }
+        }
+    }
+
+    /// Start a message as one fluid flow spread over its route set (one
+    /// route per waypoint class x distinct first-hop candidate).
+    fn start_send(&mut self, src: u32, dst: u32, bytes: u64, tag: u64) {
+        assert_ne!(src, dst, "self-sends are not modelled");
+        let src_node = self.net.endpoints[src as usize];
+        let dst_node = self.net.endpoints[dst as usize];
+        let msg_id = self.msgs.len() as MsgId;
+        self.stats.messages_sent += 1;
+        self.msgs.push(MsgState {
+            info: MsgInfo {
+                src_rank: src,
+                dst_rank: dst,
+                bytes,
+                tag,
+            },
+            done: false,
+        });
+
+        // Route classes: direct, plus each router-provided waypoint.
+        let mut waypoints = std::mem::take(&mut self.waypoints);
+        waypoints.clear();
+        if self.cfg.use_waypoints {
+            self.net
+                .router
+                .waypoint_options(&self.net.topo, src_node, dst_node, &mut waypoints);
+        }
+        let mut routes: Vec<Route> = Vec::new();
+        let mut latency_ps = 0u64;
+        for class in std::iter::once(None).chain(waypoints.iter().copied().map(Some)) {
+            let target = class.unwrap_or(dst_node);
+            let mut cand = std::mem::take(&mut self.cand);
+            cand.clear();
+            self.net
+                .router
+                .candidates(&self.net.topo, src_node, 0, target, &mut cand);
+            let mut seen_ports: Vec<PortId> = Vec::with_capacity(cand.len());
+            for h in &cand {
+                if seen_ports.contains(&h.port) {
+                    continue;
+                }
+                seen_ports.push(h.port);
+                let (links, lat) = self.walk_route(src_node, dst_node, class, *h);
+                latency_ps = latency_ps.max(lat);
+                routes.push(Route {
+                    links,
+                    rate: 0.0,
+                    carried: 0.0,
+                });
+            }
+            self.cand = cand;
+        }
+        self.waypoints = waypoints;
+        assert!(!routes.is_empty(), "no route from rank {src} to rank {dst}");
+
+        for r in &routes {
+            for &li in &r.links {
+                self.link_nflows[li as usize] += 1;
+            }
+        }
+        let f = self.alloc_flow(FlowState {
+            msg: msg_id,
+            routes,
+            latency_ps,
+            remaining: bytes as f64,
+            rate: 0.0,
+            gated: true,
+            large: bytes >= self.cfg.nic_port_window_bytes,
+        });
+        // Enqueue on the NIC injection FIFOs of the routes' first links;
+        // the flow drains once nothing window-sized sits ahead of it.
+        for li in Self::first_links(&self.flows[f as usize].routes) {
+            self.inj_queue[li as usize].push(f);
+        }
+        if self.nic_eligible(f) {
+            self.flows[f as usize].gated = false;
+            self.active.push(f);
+        }
+    }
+
+    /// Distinct first links over a route set (at most 4 routes, so a
+    /// linear dedup suffices).
+    fn first_links(routes: &[Route]) -> impl Iterator<Item = u32> + '_ {
+        routes
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !routes[..*i].iter().any(|q| q.links[0] == r.links[0]))
+            .map(|(_, r)| r.links[0])
+    }
+
+    /// Whether `f` may inject: on every NIC FIFO it sits in, all flows
+    /// ahead of it are larger than the per-port window (their packets
+    /// interleave with ours under the packet engine's NIC pacing, instead
+    /// of forming an exclusive FIFO burst we must wait out) *and* headed
+    /// for a different destination. Same-destination flows follow the
+    /// same route, where the packet engine's per-VC FIFO queues deliver
+    /// strictly in issue order — fair-sharing them would stall the
+    /// earlier message's delivery (and any pipeline depending on it)
+    /// behind the later one's bytes.
+    fn nic_eligible(&self, f: FlowId) -> bool {
+        let dst = self.msgs[self.flows[f as usize].msg as usize].info.dst_rank;
+        Self::first_links(&self.flows[f as usize].routes).all(|li| {
+            self.inj_queue[li as usize]
+                .iter()
+                .take_while(|&&g| g != f)
+                .all(|&g| {
+                    self.flows[g as usize].large
+                        && self.msgs[self.flows[g as usize].msg as usize].info.dst_rank != dst
+                })
+        })
+    }
+
+    /// Greedily walk the router's candidate graph from `src` to `dst`,
+    /// pinned to `first` as the first hop, picking the least-subscribed
+    /// candidate link at every subsequent hop (ties to the lowest port id,
+    /// keeping the walk deterministic).
+    fn walk_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        mut waypoint: Option<NodeId>,
+        first: Hop,
+    ) -> (Vec<u32>, u64) {
+        let topo = &self.net.topo;
+        let router = &self.net.router;
+        let mut links = self.spare_links.pop().unwrap_or_default();
+        let mut visited: Vec<NodeId> = vec![src];
+        let mut latency_ps = 0u64;
+        let mut node = src;
+        let mut hop = first;
+        let max_hops = 4 * topo.num_nodes();
+        loop {
+            let link = topo.link(node, hop.port);
+            links.push(self.link_idx(node, hop.port));
+            latency_ps += link.spec.latency_ps + self.cfg.hop_latency_ps;
+            node = link.peer.node;
+            if node == dst {
+                break;
+            }
+            visited.push(node);
+            if let Some(w) = waypoint {
+                if router.waypoint_reached(topo, node, w) {
+                    waypoint = None;
+                }
+            }
+            let target = waypoint.unwrap_or(dst);
+            let mut cand = std::mem::take(&mut self.cand);
+            cand.clear();
+            router.candidates(topo, node, hop.vc, target, &mut cand);
+            assert!(
+                !cand.is_empty(),
+                "router produced no candidates at {node:?} (vc {}) toward {target:?}",
+                hop.vc
+            );
+            // Least-subscribed candidate; ties break to the lowest port.
+            // Candidates leading to an already-visited node lose to fresh
+            // ones: adaptive candidate sets may contain non-minimal detour
+            // hops (e.g. Dragonfly's local hop toward a global port), and a
+            // deterministic walk would ping-pong over them forever where
+            // the packet engine escapes via randomized tie-breaks.
+            let score = |h: &Hop| {
+                let revisit = visited.contains(&topo.peer(node, h.port).node);
+                (
+                    revisit,
+                    self.link_nflows[self.link_idx(node, h.port) as usize],
+                    h.port,
+                )
+            };
+            let mut best = cand[0];
+            let mut best_score = score(&best);
+            for h in cand.iter().skip(1) {
+                let s = score(h);
+                if s < best_score {
+                    best = *h;
+                    best_score = s;
+                }
+            }
+            self.cand = cand;
+            hop = best;
+            assert!(
+                links.len() < max_hops,
+                "routing walk did not terminate on {} ({src:?}->{dst:?})",
+                self.net.name
+            );
+        }
+        (links, latency_ps)
+    }
+
+    fn alloc_flow(&mut self, st: FlowState) -> FlowId {
+        if let Some(id) = self.free_flows.pop() {
+            self.flows[id as usize] = st;
+            id
+        } else {
+            self.flows.push(st);
+            (self.flows.len() - 1) as FlowId
+        }
+    }
+
+    /// Max-min fair allocation by progressive filling, batched by level:
+    /// each round finds the tightest fair share over all constrained
+    /// links, freezes **every** route whose own bottleneck sits at that
+    /// level, and subtracts the share from the links those routes cross.
+    /// Rounds are therefore proportional to the number of distinct
+    /// bottleneck levels, not the number of links. Allocation-free:
+    /// scratch arrays are engine members invalidated by generation stamp.
+    fn recompute_rates(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        self.rate_gen = self.rate_gen.wrapping_add(1);
+        let gen = self.rate_gen;
+        self.touched.clear();
+        self.pending.clear();
+        for &f in &self.active {
+            let fl = &mut self.flows[f as usize];
+            fl.rate = 0.0;
+            for (ri, r) in fl.routes.iter_mut().enumerate() {
+                r.rate = -1.0; // sentinel: unassigned
+                self.pending.push((f, ri as u32));
+            }
+        }
+        for &(f, ri) in &self.pending {
+            for &li in &self.flows[f as usize].routes[ri as usize].links {
+                let li = li as usize;
+                if self.link_gen[li] != gen {
+                    self.link_gen[li] = gen;
+                    self.residual[li] = self.link_cap[li];
+                    self.unsat[li] = 0;
+                    self.touched.push(li);
+                }
+                self.unsat[li] += 1;
+            }
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        while !pending.is_empty() {
+            // Refresh the per-link fair shares and find the level: the
+            // tightest share over all still-constrained links.
+            let mut level = f64::INFINITY;
+            for &li in &self.touched {
+                if self.unsat[li] > 0 {
+                    let s = self.residual[li].max(0.0) / self.unsat[li] as f64;
+                    self.share[li] = s;
+                    if s < level {
+                        level = s;
+                    }
+                }
+            }
+            if !level.is_finite() {
+                break; // cannot happen: every pending route crosses a link
+            }
+            let lim = level * (1.0 + LEVEL_SLACK) + f64::MIN_POSITIVE;
+            // Freeze every pending route bottlenecked at (or within the
+            // slack of) this level, each at its own bottleneck share.
+            let before = pending.len();
+            pending.retain(|&(f, ri)| {
+                let f = f as usize;
+                let mut own = f64::INFINITY;
+                for &li in &self.flows[f].routes[ri as usize].links {
+                    let s = self.share[li as usize];
+                    if s < own {
+                        own = s;
+                    }
+                }
+                if own > lim {
+                    return true;
+                }
+                self.flows[f].routes[ri as usize].rate = own;
+                self.flows[f].rate += own;
+                for k in 0..self.flows[f].routes[ri as usize].links.len() {
+                    let li = self.flows[f].routes[ri as usize].links[k] as usize;
+                    self.residual[li] -= own;
+                    self.unsat[li] -= 1;
+                }
+                false
+            });
+            debug_assert!(pending.len() < before, "water-filling stalled");
+        }
+        self.pending = pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{Alltoall, MessageBlast, Permutation, UniformRandom};
+    use hxnet::fattree::single_switch;
+    use hxnet::hammingmesh::HxMeshParams;
+    use hxnet::torus::TorusParams;
+
+    #[test]
+    fn single_message_time_matches_fluid_model() {
+        // Two endpoints on one switch: 1 MiB at 400 Gb/s over 2 hops.
+        let net = single_switch(2, "pair");
+        let bytes: u64 = 1 << 20;
+        let mut app = MessageBlast::pairs(vec![(0, 1, bytes)]);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.messages_delivered, 1);
+        // Drain time = bytes * 20 ps (one bottleneck link), plus two hops
+        // of propagation + pipeline latency.
+        let drain = bytes * 20;
+        assert!(stats.finish_ps > drain, "{}", stats.finish_ps);
+        assert!(stats.finish_ps < drain + 1_000_000, "{}", stats.finish_ps);
+        let gbps = stats.delivered_gbps();
+        assert!(gbps > 350.0 && gbps <= 400.0, "got {gbps} Gb/s");
+    }
+
+    #[test]
+    fn two_flows_share_a_link_max_min() {
+        // Ranks 0 and 1 both send to rank 2 through one switch: the
+        // ejection link is the bottleneck, each flow gets half.
+        let net = single_switch(3, "tri");
+        let bytes: u64 = 4 << 20;
+        let mut app = MessageBlast::pairs(vec![(0, 2, bytes), (1, 2, bytes)]);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        // Both flows drain in ~2x the solo time.
+        let solo = bytes * 20;
+        assert!(
+            stats.finish_ps > 2 * solo - 1_000_000 && stats.finish_ps < 2 * solo + 2_000_000,
+            "{} vs solo {}",
+            stats.finish_ps,
+            solo
+        );
+    }
+
+    #[test]
+    fn alltoall_completes_on_hxmesh() {
+        let net = HxMeshParams::square(2, 2).build();
+        let mut app = Alltoall::new(net.num_ranks(), 16 * 1024, 2);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.messages_delivered as usize, 16 * 15);
+    }
+
+    #[test]
+    fn permutation_completes_on_torus() {
+        let net = TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build();
+        let mut app = Permutation::new(net.num_ranks(), 32 * 1024, 2, 7);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.messages_delivered, 32);
+    }
+
+    #[test]
+    fn uniform_random_completes_on_all_topologies() {
+        let nets = vec![
+            HxMeshParams::square(2, 4).build(),
+            TorusParams {
+                cols: 8,
+                rows: 8,
+                board: 2,
+            }
+            .build(),
+            hxnet::dragonfly::DragonflyParams {
+                a: 4,
+                p: 2,
+                h: 2,
+                groups: 5,
+            }
+            .build(),
+            hxnet::fattree::FatTreeParams::scaled_nonblocking(64, 16).build(),
+            hxnet::hyperx::HyperXParams {
+                x: 8,
+                y: 8,
+                radix: 64,
+            }
+            .build(),
+        ];
+        for net in &nets {
+            let mut app = UniformRandom::new(net.num_ranks(), 24 * 1024, 8, 99);
+            let cfg = SimConfig {
+                max_time_ps: 200_000_000_000,
+                ..Default::default()
+            };
+            let stats = FlowEngine::new(net, cfg).run(&mut app);
+            assert!(stats.clean(), "{}: {stats:?}", net.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let net = HxMeshParams::square(2, 2).build();
+        let run = || {
+            let mut app = Alltoall::new(net.num_ranks(), 8192, 1);
+            FlowEngine::new(&net, SimConfig::default())
+                .run(&mut app)
+                .finish_ps
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uses_far_fewer_events_than_packet_engine() {
+        let net = HxMeshParams::square(2, 2).build();
+        let mut fapp = Alltoall::new(net.num_ranks(), 256 * 1024, 2);
+        let fstats = FlowEngine::new(&net, SimConfig::default()).run(&mut fapp);
+        let mut papp = Alltoall::new(net.num_ranks(), 256 * 1024, 2);
+        let pstats = crate::Engine::new(&net, SimConfig::default()).run(&mut papp);
+        assert!(fstats.clean() && pstats.clean());
+        assert!(
+            fstats.events * 10 < pstats.events,
+            "flow {} events vs packet {}",
+            fstats.events,
+            pstats.events
+        );
+    }
+
+    #[test]
+    fn traffic_accounting_is_byte_exact_per_message() {
+        let net = HxMeshParams::square(2, 2).build();
+        let mut app = MessageBlast::pairs(vec![(0, 15, 3 << 20), (5, 10, 1 << 20)]);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean());
+        assert_eq!(stats.bytes_delivered, (3 << 20) + (1 << 20));
+        assert_eq!(stats.messages_delivered, 2);
+        // Some node on each route forwarded traffic.
+        assert!(stats.node_forwarded.iter().sum::<u64>() > 0);
+        assert!(stats.total_link_busy_ps > 0);
+    }
+}

@@ -1,46 +1,51 @@
-//! # hxsim — packet-level network simulator
+//! # hxsim — network simulator with packet-level and flow-level backends
 //!
-//! A from-scratch discrete-event, packet-level network simulator standing
-//! in for the Structural Simulation Toolkit (SST) the paper uses (App. F).
-//! It models:
+//! A from-scratch network simulator standing in for the Structural
+//! Simulation Toolkit (SST) the paper uses (App. F). Two interchangeable
+//! backends share one [`Application`] callback surface, one [`SimConfig`],
+//! and one [`SimStats`] output (select one with [`EngineKind`] /
+//! [`simulate`]):
 //!
-//! * store-and-forward packet switching with per-hop serialization at the
-//!   link rate (8 KiB packets, 400 Gb/s links by default — App. F),
-//! * credit-based flow control: each `(input port, VC)` buffer has a byte
-//!   capacity; a sender reserves downstream space before transmitting and
-//!   stalls otherwise (head-of-line, like input-buffered switches),
-//! * packet-level adaptive routing: at every hop the topology's
-//!   [`hxnet::Router`] provides minimal candidates and the engine picks
-//!   the one with the most free downstream credits,
-//! * virtual channels for deadlock freedom, driven entirely by the router
-//!   (§IV-C3),
-//! * source-side path selection (Valiant / intermediate boards) through
-//!   router waypoints,
-//! * an [`Application`] callback interface for traffic generation with
-//!   simulated compute time.
+//! * **[`Engine`]** — the packet-level discrete-event engine: 8 KiB
+//!   packets, per-hop serialization at the link rate, credit-based flow
+//!   control with per-(port, VC) buffers, packet-level adaptive routing
+//!   over the topology's [`hxnet::Router`] candidates, virtual channels
+//!   for deadlock freedom (§IV-C3), and source-side waypoint selection
+//!   (Valiant / column-first).
+//! * **[`FlowEngine`]** — the flow-level fluid fast path: every message
+//!   becomes a handful of subflows with fixed routes, links are shared by
+//!   max-min fairness, and time advances in rate-change epochs. Orders of
+//!   magnitude faster at large scale, at the fidelity cost documented in
+//!   [`flow`].
 //!
 //! Time is measured in integer **picoseconds**; at 400 Gb/s one byte is
 //! exactly 20 ps, so all serialization times are exact.
 //!
 //! ```
 //! use hxnet::hammingmesh::HxMeshParams;
-//! use hxsim::{Engine, SimConfig, apps::MessageBlast};
+//! use hxsim::{simulate, EngineKind, SimConfig, apps::MessageBlast};
 //!
 //! let net = HxMeshParams::square(2, 2).build();
-//! let mut app = MessageBlast::pairs(vec![(0, 15, 1 << 20)]); // 1 MiB
-//! let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
-//! assert_eq!(stats.messages_delivered, 1);
-//! assert!(stats.finish_ps > 0);
+//! for kind in EngineKind::all() {
+//!     let mut app = MessageBlast::pairs(vec![(0, 15, 1 << 20)]); // 1 MiB
+//!     let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+//!     assert_eq!(stats.messages_delivered, 1);
+//!     assert!(stats.finish_ps > 0);
+//! }
 //! ```
 
+pub mod app;
 pub mod apps;
 pub mod engine;
+pub mod flow;
 pub mod stats;
 
 #[cfg(test)]
 mod tests_edge;
 
-pub use engine::{Application, Cmd, Ctx, Engine, MsgInfo, SimConfig};
+pub use app::{Application, Cmd, Ctx, MsgInfo};
+pub use engine::{Engine, SimConfig};
+pub use flow::FlowEngine;
 pub use stats::SimStats;
 
 /// Simulated time in picoseconds.
@@ -52,3 +57,62 @@ pub const DEFAULT_PACKET_BYTES: u64 = 8192;
 /// Default per-(port,VC) input buffer. The paper uses 32 MB per port; we
 /// split it evenly across at most 4 VCs.
 pub const DEFAULT_BUFFER_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Which simulation backend to run. Both accept the same [`SimConfig`] and
+/// [`Application`] and produce the same [`SimStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Packet-level discrete-event simulation ([`Engine`]): highest
+    /// fidelity, runtime proportional to packets x hops.
+    Packet,
+    /// Flow-level fluid simulation ([`FlowEngine`]): max-min fair rate
+    /// sharing in rate-change epochs; the fast path for large scales.
+    Flow,
+}
+
+impl EngineKind {
+    pub fn all() -> [EngineKind; 2] {
+        [EngineKind::Packet, EngineKind::Flow]
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Packet => "packet",
+            EngineKind::Flow => "flow",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packet" => Ok(EngineKind::Packet),
+            "flow" => Ok(EngineKind::Flow),
+            other => Err(format!(
+                "unknown engine {other:?} (expected \"packet\" or \"flow\")"
+            )),
+        }
+    }
+}
+
+/// Run `app` on `net` with the selected backend. The single entry point
+/// call sites use to stay engine-agnostic.
+pub fn simulate(
+    net: &hxnet::Network,
+    cfg: SimConfig,
+    kind: EngineKind,
+    app: &mut dyn Application,
+) -> SimStats {
+    match kind {
+        EngineKind::Packet => Engine::new(net, cfg).run(app),
+        EngineKind::Flow => FlowEngine::new(net, cfg).run(app),
+    }
+}

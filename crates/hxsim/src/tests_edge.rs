@@ -24,7 +24,10 @@ fn tiny_buffers_still_drain() {
 fn store_and_forward_is_slower_than_cut_through() {
     let net = HxMeshParams::square(2, 2).build();
     let run = |cut_through: bool| {
-        let cfg = SimConfig { cut_through, ..SimConfig::default() };
+        let cfg = SimConfig {
+            cut_through,
+            ..SimConfig::default()
+        };
         let mut app = MessageBlast::pairs(vec![(0, 15, 256 << 10)]);
         Engine::new(&net, cfg).run(&mut app).finish_ps
     };
@@ -44,14 +47,25 @@ fn congestion_backpressure_reduces_bandwidth_not_correctness() {
     let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
     assert!(stats.clean());
     // One 400 Gb/s ejection link: at least total * 20 ps.
-    assert!(stats.finish_ps >= total * 20, "{} < {}", stats.finish_ps, total * 20);
-    assert!(stats.finish_ps < total * 20 * 2, "incast should stream near line rate");
+    assert!(
+        stats.finish_ps >= total * 20,
+        "{} < {}",
+        stats.finish_ps,
+        total * 20
+    );
+    assert!(
+        stats.finish_ps < total * 20 * 2,
+        "incast should stream near line rate"
+    );
 }
 
 #[test]
 fn max_time_guard_reports_timeout() {
     let net = single_switch(2, "pair");
-    let cfg = SimConfig { max_time_ps: 10, ..SimConfig::default() };
+    let cfg = SimConfig {
+        max_time_ps: 10,
+        ..SimConfig::default()
+    };
     let mut app = MessageBlast::pairs(vec![(0, 1, 1 << 20)]);
     let stats = Engine::new(&net, cfg).run(&mut app);
     assert!(stats.timed_out);
@@ -96,13 +110,19 @@ fn narrow_nic_window_serializes_but_completes() {
     };
     let narrow = run(crate::DEFAULT_PACKET_BYTES);
     let wide = run(64 * crate::DEFAULT_PACKET_BYTES);
-    assert!(wide <= narrow, "wider window must not be slower: {wide} vs {narrow}");
+    assert!(
+        wide <= narrow,
+        "wider window must not be slower: {wide} vs {narrow}"
+    );
 }
 
 #[test]
 fn waypoints_off_still_completes_alltoall() {
     let net = HxMeshParams::square(2, 4).build();
-    let cfg = SimConfig { use_waypoints: false, ..SimConfig::default() };
+    let cfg = SimConfig {
+        use_waypoints: false,
+        ..SimConfig::default()
+    };
     let mut app = Alltoall::new(net.num_ranks(), 16 << 10, 2);
     let stats = Engine::new(&net, cfg).run(&mut app);
     assert!(stats.clean(), "{stats:?}");

@@ -16,23 +16,35 @@ fn main() {
     mesh.fail_board(2, 1);
     mesh.fail_board(2, 3);
     mesh.fail_board(3, 2);
-    println!("4x4 mesh, 3 failed boards -> {} working", mesh.working_boards());
+    println!(
+        "4x4 mesh, 3 failed boards -> {} working",
+        mesh.working_boards()
+    );
 
     // A 3x3 job still fits: the rows need not be contiguous, they only
     // need a common set of 3 free columns (a virtual sub-HxMesh).
-    let p = mesh.allocate(1, 3, 3, Heuristics::all()).expect("3x3 fits despite failures");
+    let p = mesh
+        .allocate(1, 3, 3, Heuristics::all())
+        .expect("3x3 fits despite failures");
     println!("3x3 job placed on rows {:?} x cols {:?}", p.rows, p.cols);
     let p2 = mesh.allocate(2, 1, 4, Heuristics::all());
     println!("1x4 job: {p2:?}");
     mesh.check_invariants().unwrap();
-    println!("utilization of working boards: {:.0}%", mesh.utilization() * 100.0);
+    println!(
+        "utilization of working boards: {:.0}%",
+        mesh.utilization() * 100.0
+    );
 
     // Now a production-size scenario: a 16x16 Hx2Mesh filled with a random
     // MLaaS job mix under the strongest heuristic stack.
     println!("\n16x16 Hx2Mesh, random job mix:");
     let dist = JobSizeDistribution::for_cluster(256);
     let mix = JobMix::draw(&dist, 256, 2024);
-    println!("  {} jobs totalling {} boards", mix.num_jobs(), mix.total_boards());
+    println!(
+        "  {} jobs totalling {} boards",
+        mix.num_jobs(),
+        mix.total_boards()
+    );
     let strat = *fig8_strategies().last().unwrap();
     let mut mesh = BoardMesh::new(16, 16);
     let util = allocate_mix(&mut mesh, &mix, strat);

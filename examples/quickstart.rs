@@ -11,11 +11,13 @@ fn main() {
     // An 8x8 Hx2Mesh: 8x8 boards of 2x2 accelerators = 256 accelerators.
     let params = HxMeshParams::square(2, 8);
     let net = params.build();
-    println!("built {}: {} accelerators, {} switches, {} links",
+    println!(
+        "built {}: {} accelerators, {} switches, {} links",
         net.name,
         net.num_ranks(),
         net.topo.count_switches(),
-        net.topo.num_links());
+        net.topo.num_links()
+    );
 
     // Price one plane x 4 (the paper charges switches, DAC and AoC cables).
     let inv = Inventory::from_network(&net, 4);
@@ -27,15 +29,20 @@ fn main() {
         inv.cost_musd(&Prices::default())
     );
 
-    // Measure a 4 MiB allreduce with the paper's two algorithms.
+    // Measure a 4 MiB allreduce with the paper's two algorithms, on both
+    // simulation backends: the packet engine is the ground truth, the
+    // flow-level fast path trades per-packet fidelity for orders of
+    // magnitude more speed at scale (see README "Two simulation engines").
     for algo in [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D] {
-        let m = experiments::allreduce_bandwidth(&net, algo, 4 << 20);
-        println!(
-            "{algo:?}: {:.1} us simulated, {:.1}% of the allreduce optimum",
-            m.time_ps as f64 / 1e6,
-            m.bw_fraction * 100.0
-        );
-        assert!(m.clean, "simulation must deliver every message");
+        for engine in EngineKind::all() {
+            let m = experiments::allreduce_bandwidth_on(&net, algo, 4 << 20, engine);
+            println!(
+                "{algo:?} on {engine} engine: {:.1} us simulated, {:.1}% of the allreduce optimum",
+                m.time_ps as f64 / 1e6,
+                m.bw_fraction * 100.0
+            );
+            assert!(m.clean, "simulation must deliver every message");
+        }
     }
 
     // And an alltoall, which HxMesh deliberately under-provisions (§II-D:

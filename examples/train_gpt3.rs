@@ -25,7 +25,9 @@ fn main() {
     );
 
     // 1) Full-scale analytic estimates (α-β model + Table II bandwidths).
-    println!("\nfull-scale iteration estimates (paper: FT 34.8, Hx2 41.7, Hx4 49.9, torus 72.2 ms):");
+    println!(
+        "\nfull-scale iteration estimates (paper: FT 34.8, Hx2 41.7, Hx4 49.9, torus 72.2 ms):"
+    );
     for t in TopologyPerf::table2_small() {
         let e = estimate_iteration(&gpt3, &t);
         println!(
@@ -52,7 +54,12 @@ fn main() {
     );
     let nets = vec![
         HxMeshParams::square(2, 2).build(),
-        TorusParams { cols: 4, rows: 4, board: 2 }.build(),
+        TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build(),
         FatTreeParams::scaled_nonblocking(16, 16).build(),
     ];
     for net in &nets {

@@ -1,0 +1,201 @@
+//! Fault injection on HammingMesh routing: kill global cables with
+//! [`hammingmesh::hxnet::Topology::fail_link`] and assert both simulation
+//! engines still deliver every message — the HxMesh router must route
+//! around dead cables (other board-line exit, other tree entry), closing
+//! the ROADMAP gap that `fig10_failures` only exercised *allocation*
+//! around failed boards, never *routing* around failed links.
+//!
+//! Scope: the failure-aware routing covers the HxMesh global cables
+//! (accelerator <-> line-network switch, and intra-tree links); on-board
+//! PCB traces are assumed reliable, as in the paper's fault model where
+//! board replacement — not trace failure — is the repair unit.
+
+use hammingmesh::hxnet::hammingmesh::{HxCoord, HxMeshParams};
+use hammingmesh::hxnet::{Network, NodeId, PortId};
+use hammingmesh::hxsim::apps::{Alltoall, MessageBlast, UniformRandom};
+use hammingmesh::hxsim::{simulate, EngineKind, SimConfig};
+
+/// Ports of `node` whose peer is a switch (global cables), in port order.
+fn cable_ports(net: &Network, node: NodeId) -> Vec<PortId> {
+    (0..net.topo.num_ports(node))
+        .map(|p| PortId(p as u16))
+        .filter(|&p| net.topo.kind(net.topo.peer(node, p).node).is_switch())
+        .collect()
+}
+
+/// The accelerator wiring order makes the *row* cable (E or W) of a board
+/// edge accelerator its first switch-facing port; the column cable (N or
+/// S) is the second.
+fn row_cable(net: &Network, node: NodeId) -> PortId {
+    cable_ports(net, node)[0]
+}
+
+fn col_cable(net: &Network, node: NodeId) -> PortId {
+    cable_ports(net, node)[1]
+}
+
+#[test]
+fn targeted_send_routes_around_failed_row_cable() {
+    let params = HxMeshParams::square(2, 4);
+    let mut net = params.build();
+    // Kill the West row cable of the accelerator at board (0,0), r=0, c=0.
+    let co = HxCoord {
+        bi: 0,
+        bj: 0,
+        r: 0,
+        c: 0,
+    };
+    let src = net.endpoints[params.rank_of(co)];
+    net.topo.fail_link(src, row_cable(&net, src));
+    assert_eq!(net.topo.count_failed_links(), 1);
+
+    // Traffic from that accelerator across its board row must now leave
+    // through the East edge and still arrive, on both engines.
+    let dst = params.rank_of(HxCoord {
+        bi: 0,
+        bj: 2,
+        r: 0,
+        c: 1,
+    });
+    for kind in EngineKind::all() {
+        let mut app = MessageBlast::pairs(vec![(params.rank_of(co) as u32, dst as u32, 1 << 20)]);
+        let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+        assert!(stats.clean(), "{kind}: {stats:?}");
+        assert_eq!(stats.messages_delivered, 1);
+    }
+}
+
+#[test]
+fn targeted_send_routes_around_failed_entry_cable() {
+    let params = HxMeshParams::square(2, 4);
+    let mut net = params.build();
+    // Kill the *destination-side* West entry cable: the row-line tree must
+    // deliver through the East edge of the target board instead.
+    let dco = HxCoord {
+        bi: 1,
+        bj: 3,
+        r: 1,
+        c: 0,
+    };
+    let entry = net.endpoints[params.rank_of(dco)];
+    net.topo.fail_link(entry, row_cable(&net, entry));
+
+    let src = params.rank_of(HxCoord {
+        bi: 1,
+        bj: 0,
+        r: 1,
+        c: 0,
+    });
+    for kind in EngineKind::all() {
+        let mut app =
+            MessageBlast::pairs(vec![(src as u32, params.rank_of(dco) as u32, 512 << 10)]);
+        let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+        assert!(stats.clean(), "{kind}: {stats:?}");
+    }
+}
+
+#[test]
+fn alltoall_survives_row_and_column_cable_failures() {
+    let params = HxMeshParams::square(2, 4);
+    let mut net = params.build();
+    // One row cable and one column cable, on different boards.
+    let a = net.endpoints[params.rank_of(HxCoord {
+        bi: 0,
+        bj: 1,
+        r: 0,
+        c: 0,
+    })];
+    net.topo.fail_link(a, row_cable(&net, a));
+    let b = net.endpoints[params.rank_of(HxCoord {
+        bi: 2,
+        bj: 2,
+        r: 0,
+        c: 1,
+    })];
+    net.topo.fail_link(b, col_cable(&net, b));
+    assert_eq!(net.topo.count_failed_links(), 2);
+
+    for kind in EngineKind::all() {
+        let mut app = Alltoall::new(net.num_ranks(), 16 << 10, 2);
+        let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+        assert!(stats.clean(), "{kind}: {stats:?}");
+        assert_eq!(stats.messages_delivered as usize, 64 * 63);
+    }
+}
+
+#[test]
+fn uniform_random_survives_failures_and_repair_restores_determinism() {
+    let params = HxMeshParams::square(2, 2);
+    let mut net = params.build();
+    let baseline = {
+        let mut app = UniformRandom::new(net.num_ranks(), 24 << 10, 4, 11);
+        simulate(&net, SimConfig::default(), EngineKind::Packet, &mut app).finish_ps
+    };
+    // Fail a cable: the run still completes (likely slower routes).
+    let e = net.endpoints[params.rank_of(HxCoord {
+        bi: 0,
+        bj: 0,
+        r: 1,
+        c: 1,
+    })];
+    let cable = row_cable(&net, e);
+    net.topo.fail_link(e, cable);
+    {
+        let mut app = UniformRandom::new(net.num_ranks(), 24 << 10, 4, 11);
+        let stats = simulate(&net, SimConfig::default(), EngineKind::Packet, &mut app);
+        assert!(stats.clean(), "{stats:?}");
+    }
+    // Repair: behavior must be bit-identical to the pristine topology.
+    net.topo.restore_link(e, cable);
+    assert_eq!(net.topo.count_failed_links(), 0);
+    let repaired = {
+        let mut app = UniformRandom::new(net.num_ranks(), 24 << 10, 4, 11);
+        simulate(&net, SimConfig::default(), EngineKind::Packet, &mut app).finish_ps
+    };
+    assert_eq!(baseline, repaired);
+}
+
+#[test]
+fn failed_link_carries_no_traffic() {
+    // The walk-based check: with the West cable of (0,0,r0,c0) dead, no
+    // route produced by the router may use it.
+    let params = HxMeshParams::square(2, 4);
+    let mut net = params.build();
+    let co = HxCoord {
+        bi: 0,
+        bj: 0,
+        r: 0,
+        c: 0,
+    };
+    let src = net.endpoints[params.rank_of(co)];
+    let dead = row_cable(&net, src);
+    net.topo.fail_link(src, dead);
+
+    // Exhaustively walk from the affected accelerator to every other rank
+    // following first candidates; the dead port must never be offered.
+    for d in 0..net.num_ranks() {
+        let dn = net.endpoints[d];
+        if dn == src {
+            continue;
+        }
+        let mut node = src;
+        let mut vc = 0u8;
+        let mut hops = 0;
+        while node != dn {
+            let mut cand = Vec::new();
+            net.router.candidates(&net.topo, node, vc, dn, &mut cand);
+            assert!(!cand.is_empty(), "stuck at {node:?} toward rank {d}");
+            for h in &cand {
+                assert!(
+                    !net.topo.link_failed(node, h.port),
+                    "router offered dead link {node:?}:{:?} toward rank {d}",
+                    h.port
+                );
+            }
+            node = net.topo.peer(node, cand[0].port).node;
+            vc = cand[0].vc;
+            hops += 1;
+            assert!(hops < 64, "livelock routing to rank {d}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-validation of the two simulation backends: the flow-level fluid
+//! engine must reproduce the packet engine's completion times within a
+//! documented tolerance band on small alltoall / allreduce / permutation
+//! scenarios, so that figure sweeps run on the fast path stay faithful to
+//! the packet-level ground truth.
+//!
+//! ## Tolerance bands (flow time / packet time)
+//!
+//! | scenario class                         | band          |
+//! |----------------------------------------|---------------|
+//! | single transfers, large-message alltoall | [0.90, 1.25] |
+//! | small-message alltoall (latency regime) | [0.65, 1.60]  |
+//! | allreduce schedules (rings / torus)     | [0.70, 1.45]  |
+//! | permutation mean receive bandwidth      | [0.80, 1.25]  |
+//!
+//! The widest band covers the latency-dominated small-message regime,
+//! where the fluid model charges path latency once per message instead of
+//! overlapping it per packet, and congested tori, where per-packet
+//! adaptivity beats fixed fluid routes. Large-message scenarios — the
+//! regime the flow engine exists for — agree within a few percent (see
+//! BENCH_sim.json). These bands are asserted here and documented in
+//! README.md; tighten them only together.
+
+use hammingmesh::hxsim::apps::MessageBlast;
+use hammingmesh::hxsim::{simulate, EngineKind, SimConfig};
+use hammingmesh::prelude::*;
+
+/// Assert `flow/packet` lies inside `band` for a scenario's time.
+fn assert_ratio(label: &str, packet_ps: u64, flow_ps: u64, band: (f64, f64)) {
+    let ratio = flow_ps as f64 / packet_ps as f64;
+    assert!(
+        ratio >= band.0 && ratio <= band.1,
+        "{label}: flow {flow_ps} ps vs packet {packet_ps} ps, ratio {ratio:.3} outside \
+         [{:.2}, {:.2}]",
+        band.0,
+        band.1
+    );
+}
+
+#[test]
+fn single_large_transfer_agrees() {
+    let net = HxMeshParams::square(2, 2).build();
+    let times: Vec<u64> = EngineKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut app = MessageBlast::pairs(vec![(0, 15, 8 << 20)]);
+            let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+            assert!(stats.clean(), "{kind}: {stats:?}");
+            stats.finish_ps
+        })
+        .collect();
+    assert_ratio("8MiB single transfer", times[0], times[1], (0.90, 1.25));
+}
+
+#[test]
+fn alltoall_large_messages_agree() {
+    // 1 MiB pairs — the bandwidth-dominated regime the flow engine is
+    // built for; 16 ranks keeps the packet side affordable in CI.
+    for (name, net) in [
+        ("Hx2Mesh", HxMeshParams::square(2, 2).build()),
+        (
+            "fat tree",
+            FatTreeParams::scaled_nonblocking(16, 16).build(),
+        ),
+    ] {
+        let p = experiments::alltoall_bandwidth_on(&net, 1 << 20, 2, EngineKind::Packet);
+        let f = experiments::alltoall_bandwidth_on(&net, 1 << 20, 2, EngineKind::Flow);
+        assert!(p.clean && f.clean);
+        assert_ratio(
+            &format!("alltoall 1MiB on {name}"),
+            p.time_ps,
+            f.time_ps,
+            (0.90, 1.25),
+        );
+    }
+}
+
+#[test]
+fn alltoall_small_messages_agree_loosely() {
+    for (name, net) in [
+        ("Hx2Mesh", HxMeshParams::square(2, 2).build()),
+        (
+            "torus",
+            TorusParams {
+                cols: 4,
+                rows: 4,
+                board: 2,
+            }
+            .build(),
+        ),
+    ] {
+        let p = experiments::alltoall_bandwidth_on(&net, 32 << 10, 2, EngineKind::Packet);
+        let f = experiments::alltoall_bandwidth_on(&net, 32 << 10, 2, EngineKind::Flow);
+        assert!(p.clean && f.clean);
+        assert_ratio(
+            &format!("alltoall 32KiB on {name}"),
+            p.time_ps,
+            f.time_ps,
+            (0.65, 1.60),
+        );
+    }
+}
+
+#[test]
+fn allreduce_schedules_agree() {
+    let net = HxMeshParams::square(2, 2).build();
+    for algo in [
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::DisjointRings,
+        AllreduceAlgo::Torus2D,
+    ] {
+        let p = experiments::allreduce_bandwidth_on(&net, algo, 4 << 20, EngineKind::Packet);
+        let f = experiments::allreduce_bandwidth_on(&net, algo, 4 << 20, EngineKind::Flow);
+        assert!(p.clean && f.clean, "{algo:?}");
+        assert_ratio(
+            &format!("allreduce {algo:?} 4MiB"),
+            p.time_ps,
+            f.time_ps,
+            (0.70, 1.45),
+        );
+    }
+}
+
+#[test]
+fn permutation_mean_bandwidth_agrees() {
+    let net = HxMeshParams::square(2, 2).build();
+    let mean = |engine| {
+        let bw = experiments::permutation_bandwidths_on(&net, 256 << 10, 2, 42, engine);
+        bw.iter().sum::<f64>() / bw.len() as f64
+    };
+    let p = mean(EngineKind::Packet);
+    let f = mean(EngineKind::Flow);
+    let ratio = p / f;
+    assert!(
+        (0.80..=1.25).contains(&ratio),
+        "permutation mean bw: packet {p:.3} vs flow {f:.3}, ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn engines_deliver_identical_message_sets() {
+    let net = HxMeshParams::square(2, 2).build();
+    let mut delivered = Vec::new();
+    for kind in EngineKind::all() {
+        let mut app = Alltoall::new(net.num_ranks(), 64 << 10, 2);
+        let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+        assert!(stats.clean());
+        delivered.push((
+            stats.messages_sent,
+            stats.messages_delivered,
+            stats.bytes_delivered,
+        ));
+    }
+    assert_eq!(delivered[0], delivered[1]);
+}
+
+use hammingmesh::hxsim::apps::Alltoall;
+
+/// The flow engine's raison d'être: at the paper's Fig. 11 message sizes
+/// it must beat the packet engine by a wide margin on wall-clock time.
+/// The CI perf-smoke job records the full numbers in BENCH_sim.json; this
+/// is a cheap in-tree guard at a smaller scale (16 ranks, so the packet
+/// side stays fast even under the debug profile).
+#[test]
+fn flow_engine_is_much_faster_at_bandwidth_scale() {
+    let net = HxMeshParams::square(2, 2).build();
+    let wall = |kind| {
+        let t0 = std::time::Instant::now();
+        let m = experiments::alltoall_bandwidth_on(&net, 2 << 20, 2, kind);
+        assert!(m.clean);
+        t0.elapsed().as_secs_f64()
+    };
+    let packet = wall(EngineKind::Packet);
+    let flow = wall(EngineKind::Flow);
+    assert!(
+        flow * 5.0 < packet,
+        "flow {flow:.3}s should be >=5x faster than packet {packet:.3}s at 2MiB alltoall"
+    );
+}

@@ -54,7 +54,10 @@ fn simulation_respects_alpha_beta_bounds() {
     let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
     assert!(stats.clean());
 
-    let model = AlphaBeta { alpha_ps: 0.0, beta_ps_per_byte: 20.0 };
+    let model = AlphaBeta {
+        alpha_ps: 0.0,
+        beta_ps_per_byte: 20.0,
+    };
     let bound = model.bidirectional_ring_allreduce(p, s_bytes);
     assert!(
         (stats.finish_ps as f64) > 0.95 * bound,
@@ -125,7 +128,11 @@ fn scaled_gpt3_shape_across_topologies() {
     let sched = build_iteration(&w, &cfg);
 
     let mut times = std::collections::HashMap::new();
-    for choice in [TopologyChoice::FatTree, TopologyChoice::Hx2Mesh, TopologyChoice::Torus] {
+    for choice in [
+        TopologyChoice::FatTree,
+        TopologyChoice::Hx2Mesh,
+        TopologyChoice::Torus,
+    ] {
         let net = choice.build_scaled(16);
         let mut app = ScheduleApp::new(&sched);
         let stats = Engine::new(&net, SimConfig::default()).run(&mut app);

@@ -16,7 +16,12 @@ fn mapping_for(params: &HxMeshParams, placement: &hammingmesh::hxalloc::Placemen
         for r in 0..params.a as u16 {
             for &bc in &placement.cols {
                 for c in 0..params.b as u16 {
-                    let co = HxCoord { bi: br as u16, bj: bc as u16, r, c };
+                    let co = HxCoord {
+                        bi: br as u16,
+                        bj: bc as u16,
+                        r,
+                        c,
+                    };
                     mapping.push(params.rank_of(co) as u32);
                 }
             }
@@ -43,10 +48,8 @@ fn job_traffic_never_crosses_foreign_boards() {
     assert!(stats.clean());
 
     // No accelerator on job B's boards may have forwarded a single packet.
-    let b_boards: std::collections::HashSet<(u16, u16)> = job_b
-        .cells()
-        .map(|(r, c)| (r as u16, c as u16))
-        .collect();
+    let b_boards: std::collections::HashSet<(u16, u16)> =
+        job_b.cells().map(|(r, c)| (r as u16, c as u16)).collect();
     for rank in 0..net.num_ranks() {
         let co = params.coord_of(rank);
         if b_boards.contains(&(co.bi, co.bj)) {
@@ -130,7 +133,11 @@ fn defragmentation_recovers_large_placements() {
     let dropped = mesh.defragment(Heuristics::all());
     assert_eq!(dropped, 0, "defragmentation must not lose jobs");
     mesh.check_invariants().unwrap();
-    assert_eq!(mesh.allocated_boards(), 32, "defragmentation preserves all boards");
+    assert_eq!(
+        mesh.allocated_boards(),
+        32,
+        "defragmentation preserves all boards"
+    );
     mesh.allocate(100, 4, 8, Heuristics::none())
         .expect("defragmented mesh must host the 4x8 job");
     mesh.check_invariants().unwrap();

@@ -25,11 +25,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { name: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { name: parameter.to_string() }
+        Self {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -94,7 +98,6 @@ pub struct Criterion {
     cfg: Config,
 }
 
-
 impl Criterion {
     pub fn warm_up_time(mut self, t: Duration) -> Self {
         self.cfg.warm_up_time = t;
@@ -127,7 +130,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { cfg: &self.cfg, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            cfg: &self.cfg,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -168,7 +175,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one(cfg: &Config, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(
+    cfg: &Config,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
     let mut b = Bencher { cfg, last_ns: 0.0 };
     f(&mut b);
     let per_iter = b.last_ns;
@@ -177,7 +189,10 @@ fn run_one(cfg: &Config, name: &str, throughput: Option<Throughput>, mut f: impl
             format!("  {:.3} Melem/s", n as f64 / per_iter * 1e3)
         }
         Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-            format!("  {:.3} MiB/s", n as f64 / per_iter * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  {:.3} MiB/s",
+                n as f64 / per_iter * 1e9 / (1024.0 * 1024.0)
+            )
         }
         _ => String::new(),
     };
