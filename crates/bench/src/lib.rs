@@ -19,6 +19,11 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Simulation backend override (`--engine packet|flow`).
     pub engine: Option<EngineKind>,
+    /// Figure-specific sub-mode (`--mode NAME`); binaries with a single
+    /// mode ignore it. `fig10_failures` accepts `board` and `routed`.
+    pub mode: Option<String>,
+    /// Also write the printed table as CSV to this path (`--csv PATH`).
+    pub csv: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
@@ -29,6 +34,8 @@ impl HarnessArgs {
             traces: None,
             seed: 0xC0FFEE,
             engine: None,
+            mode: None,
+            csv: None,
         };
         let mut it = args.iter().skip(1);
         while let Some(a) = it.next() {
@@ -39,6 +46,20 @@ impl HarnessArgs {
                 }
                 "--seed" => {
                     out.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(out.seed);
+                }
+                "--mode" => {
+                    out.mode = it.next().cloned();
+                    if out.mode.is_none() {
+                        eprintln!("--mode needs a value");
+                        std::process::exit(2);
+                    }
+                }
+                "--csv" => {
+                    out.csv = it.next().map(std::path::PathBuf::from);
+                    if out.csv.is_none() {
+                        eprintln!("--csv needs a path");
+                        std::process::exit(2);
+                    }
                 }
                 "--engine" => match it.next().map(|v| v.parse::<EngineKind>()) {
                     Some(Ok(e)) => out.engine = Some(e),
@@ -52,7 +73,10 @@ impl HarnessArgs {
                     }
                 },
                 "--help" | "-h" => {
-                    eprintln!("options: --full  --traces N  --seed S  --engine packet|flow");
+                    eprintln!(
+                        "options: --full  --traces N  --seed S  --engine packet|flow  \
+                         --mode NAME  --csv PATH"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other:?}"),

@@ -46,6 +46,32 @@ smoke!(
     dnn_iteration_times,
 );
 
+/// The routed cable-failure sweep (`fig10_failures --mode routed`) must
+/// complete at quick scale on the flow engine — all five topologies
+/// deliver their traffic around the failed cables — and emit its CSV.
+#[test]
+fn fig10_failures_routed() {
+    let csv = std::env::temp_dir().join(format!("hx_fig10_routed_{}.csv", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_fig10_failures"))
+        .args(["--traces", "1", "--mode", "routed", "--engine", "flow"])
+        .args(["--csv", csv.to_str().unwrap()])
+        .output()
+        .expect("spawn fig10_failures");
+    assert!(
+        out.status.success(),
+        "fig10_failures --mode routed exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let body = std::fs::read_to_string(&csv).expect("routed-mode CSV written");
+    assert!(body.starts_with("topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean"));
+    // 5 topologies x 5 sweep points x 1 draw, all delivered cleanly.
+    assert_eq!(body.lines().count(), 1 + 5 * 5, "{body}");
+    assert!(body.lines().skip(1).all(|l| l.ends_with(",true")), "{body}");
+    std::fs::remove_file(&csv).ok();
+}
+
 /// The CI perf-smoke harness must run and emit its three artifacts.
 #[test]
 fn perf_smoke() {

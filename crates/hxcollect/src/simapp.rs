@@ -218,4 +218,29 @@ mod tests {
             assert!(app.finish_ps > 0);
         }
     }
+
+    /// Schedule replay under fault injection: the routes the replayed
+    /// collective rides are re-selected around a failed line cable by the
+    /// failure-aware routers, on both backends, and every op completes.
+    #[test]
+    fn schedule_replays_around_failed_cable_on_both_engines() {
+        use hxnet::PortId;
+        let net = HxMeshParams::square(2, 2).build();
+        let sched = ring_allreduce(net.num_ranks(), 64 * net.num_ranks());
+        for kind in EngineKind::all() {
+            let mut net = HxMeshParams::square(2, 2).build();
+            // Endpoint 0's East port is a row-line cable on a 2x2 board
+            // corner; killing it forces the ring's wrap traffic West.
+            let e0 = net.endpoints[0];
+            let cable = (0..net.topo.num_ports(e0))
+                .map(|p| PortId(p as u16))
+                .find(|&p| net.topo.kind(net.topo.peer(e0, p).node).is_switch())
+                .expect("endpoint line cable");
+            net.topo.fail_link(e0, cable);
+            let mut app = ScheduleApp::new(&sched);
+            let stats = simulate(&net, SimConfig::default(), kind, &mut app);
+            assert!(stats.clean(), "{kind}: {stats:?}");
+            assert!(app.is_done(), "{kind}: schedule incomplete under faults");
+        }
+    }
 }

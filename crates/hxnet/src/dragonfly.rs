@@ -13,7 +13,7 @@
 
 use crate::cable_link;
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
-use crate::route::{Hop, LoadProbe, Router};
+use crate::route::{FailoverTable, Hop, LoadProbe, Router};
 use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
@@ -222,6 +222,7 @@ impl DragonflyParams {
             local_port,
             endpoint_port,
             group_of,
+            failover: FailoverTable::new(),
         };
         Network {
             topo,
@@ -236,6 +237,13 @@ impl DragonflyParams {
 }
 
 /// Minimal + Valiant (UGAL-L) Dragonfly routing.
+///
+/// Failure-aware: while any link is failed, the minimal candidate set is
+/// corrected by a [`FailoverTable`] — dead global cables stop being
+/// offered, local hops toward switches that lost their direct link are
+/// suppressed, and cut minimal routes fall back to failure-aware shortest
+/// paths. UGAL's Valiant escape only picks intermediates the failure set
+/// leaves reachable.
 pub struct DragonflyRouter {
     groups: u32,
     switches: Vec<NodeId>,
@@ -250,6 +258,7 @@ pub struct DragonflyRouter {
     endpoint_port: HashMap<NodeId, HashMap<NodeId, PortId>>,
     /// switch -> group id.
     group_of: HashMap<NodeId, u32>,
+    failover: FailoverTable,
 }
 
 impl DragonflyRouter {
@@ -269,14 +278,10 @@ impl DragonflyRouter {
             crate::graph::NodeKind::Switch { .. } => target,
         }
     }
-}
 
-impl Router for DragonflyRouter {
-    fn num_vcs(&self) -> u8 {
-        3
-    }
-
-    fn candidates(
+    /// The failure-blind minimal (l, g, l) candidate set; `candidates`
+    /// corrects it through the [`FailoverTable`] when links are failed.
+    fn structured_candidates(
         &self,
         topo: &Topology,
         node: NodeId,
@@ -284,9 +289,6 @@ impl Router for DragonflyRouter {
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
-        if node == target {
-            return;
-        }
         if topo.kind(node).is_accelerator() {
             for p in 0..topo.num_ports(node) {
                 out.push(Hop {
@@ -333,6 +335,29 @@ impl Router for DragonflyRouter {
             }
         }
     }
+}
+
+impl Router for DragonflyRouter {
+    fn num_vcs(&self) -> u8 {
+        3
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        if node == target {
+            return;
+        }
+        self.structured_candidates(topo, node, vc, target, out);
+        if topo.has_failures() {
+            self.failover.filter(topo, node, vc, target, out);
+        }
+    }
 
     fn select_waypoint(
         &self,
@@ -368,6 +393,13 @@ impl Router for DragonflyRouter {
             ig = rng.next_u32() % self.groups;
         }
         let iw = self.switches[ig as usize * self.a + (rng.next_u32() as usize % self.a)];
+        // Under fault injection, never steer a packet at an intermediate
+        // the failure set cut off (in either phase of the Valiant path).
+        if topo.has_failures()
+            && !(self.failover.reachable(topo, ssw, iw) && self.failover.reachable(topo, iw, dst))
+        {
+            return None;
+        }
         let val_q = {
             let mut cand = Vec::new();
             self.candidates(topo, ssw, 0, iw, &mut cand);

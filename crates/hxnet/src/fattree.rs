@@ -7,7 +7,7 @@
 //! means the reduction shows between level 1 and level 2).
 
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
-use crate::route::{Hop, Router, UpDownTable};
+use crate::route::{FailoverTable, Hop, Router, UpDownTable};
 use crate::{cable_link, CABLE_LATENCY_PS, PS_PER_BYTE_400G};
 
 /// Parameters of a fat tree. Use the preset constructors for the paper's
@@ -230,7 +230,7 @@ impl FatTreeParams {
             },
         );
         Network {
-            router: Box::new(FatTreeRouter { table }),
+            router: Box::new(FatTreeRouter::new(table)),
             topo,
             endpoints,
             name: self.name.clone(),
@@ -239,8 +239,24 @@ impl FatTreeParams {
 }
 
 /// Up*/down* adaptive routing on a fat tree (one VC; deadlock-free).
+///
+/// Failure-aware: while any link is failed, the up/down candidate set is
+/// corrected by a [`FailoverTable`] — dead up/down ports are skipped, up
+/// ports whose spine can no longer reach the target are not offered, and
+/// when a switch's whole structured set is cut the router falls back to
+/// failure-aware shortest paths.
 pub struct FatTreeRouter {
     table: UpDownTable,
+    failover: FailoverTable,
+}
+
+impl FatTreeRouter {
+    fn new(table: UpDownTable) -> Self {
+        Self {
+            table,
+            failover: FailoverTable::new(),
+        }
+    }
 }
 
 impl Router for FatTreeRouter {
@@ -267,9 +283,12 @@ impl Router for FatTreeRouter {
                     vc,
                 });
             }
-            return;
+        } else {
+            self.table.candidates(node, target, vc, out);
         }
-        self.table.candidates(node, target, vc, out);
+        if topo.has_failures() {
+            self.failover.filter(topo, node, vc, target, out);
+        }
     }
 }
 
@@ -292,7 +311,7 @@ pub fn single_switch(n: usize, name: &str) -> Network {
         },
     );
     Network {
-        router: Box::new(FatTreeRouter { table }),
+        router: Box::new(FatTreeRouter::new(table)),
         topo,
         endpoints,
         name: name.to_string(),
@@ -407,6 +426,60 @@ mod tests {
             )
             .is_none());
     }
+
+    #[test]
+    fn routing_avoids_failed_up_and_down_links() {
+        let mut net = FatTreeParams::scaled_nonblocking(32, 8).build();
+        let (src, dst) = (net.endpoints[0], net.endpoints[31]);
+        // The source leaf and its up ports.
+        let leaf = net.topo.peer(src, PortId(0)).node;
+        let ups: Vec<PortId> = (0..net.topo.num_ports(leaf))
+            .map(|p| PortId(p as u16))
+            .filter(|&p| {
+                let peer = net.topo.peer(leaf, p).node;
+                matches!(net.topo.kind(peer), NodeKind::Switch { level: 1, .. })
+            })
+            .collect();
+        assert!(ups.len() >= 2, "need multiple spines for this test");
+        // Kill all but one up link; the survivor must be the only offer.
+        for &p in &ups[1..] {
+            net.topo.fail_link(leaf, p);
+        }
+        let mut cand = Vec::new();
+        net.router.candidates(&net.topo, leaf, 0, dst, &mut cand);
+        assert_eq!(cand.len(), 1);
+        assert_eq!(cand[0].port, ups[0]);
+        // Also kill the surviving spine's *down* link toward dst's leaf:
+        // strict up*/down* is now cut, and the failover shortest path
+        // detours down through another leaf and back up — longer, but it
+        // delivers without touching a dead link.
+        let spine = net.topo.peer(leaf, ups[0]).node;
+        let dleaf = net.topo.peer(dst, PortId(0)).node;
+        let down = (0..net.topo.num_ports(spine))
+            .map(|p| PortId(p as u16))
+            .find(|&p| net.topo.peer(spine, p).node == dleaf)
+            .expect("spine-down link");
+        net.topo.fail_link(spine, down);
+        check_reachability(&net, &[(0, 31)], 6);
+        // Isolating dst entirely makes the router report unreachable
+        // (empty candidate set) instead of looping.
+        net.topo.fail_link(dst, PortId(0));
+        cand.clear();
+        net.router.candidates(&net.topo, leaf, 0, dst, &mut cand);
+        assert!(cand.is_empty(), "{cand:?}");
+        // Repair: the full candidate set returns.
+        net.topo.restore_link(dst, PortId(0));
+        net.topo.restore_link(spine, down);
+        for &p in &ups[1..] {
+            net.topo.restore_link(leaf, p);
+        }
+        cand.clear();
+        net.router.candidates(&net.topo, leaf, 0, dst, &mut cand);
+        assert_eq!(cand.len(), ups.len());
+        check_reachability(&net, &[(0, 31)], 4);
+    }
+
+    use crate::graph::NodeKind;
 
     #[test]
     fn scaled_constructors_produce_sane_trees() {

@@ -116,16 +116,23 @@ pub struct Node {
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
+    /// Number of currently failed full-duplex links (each counted once).
+    failed_links: usize,
+    /// Bumped on every effective [`Topology::fail_link`] /
+    /// [`Topology::restore_link`], so failure-aware routing tables can
+    /// invalidate their caches without scanning the graph.
+    failure_epoch: u64,
 }
 
 impl Topology {
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     pub fn with_capacity(nodes: usize) -> Self {
         Self {
             nodes: Vec::with_capacity(nodes),
+            ..Self::default()
         }
     }
 
@@ -166,20 +173,72 @@ impl Topology {
         (pa, pb)
     }
 
+    /// Look up `(node, port)` for fault injection, panicking with a clear
+    /// message instead of a bare index error when the port does not exist.
+    /// The audit of the original `fail_link` showed that a typo'd port id
+    /// would either panic deep inside `peer()` or — worse, when it aliased
+    /// another valid port — silently kill the wrong cable; an explicit
+    /// bounds check keeps the failure loud and attributable.
+    fn checked_peer(&self, node: NodeId, port: PortId) -> PortRef {
+        let n = self
+            .nodes
+            .get(node.idx())
+            .unwrap_or_else(|| panic!("fault injection on nonexistent node {node:?}"));
+        n.ports
+            .get(port.idx())
+            .unwrap_or_else(|| panic!("fault injection on nonexistent port {node:?}:{port:?}"))
+            .peer
+    }
+
     /// Fault injection: mark the full-duplex link at `(node, port)` as
-    /// failed, in both directions. Failure-aware routers (HammingMesh)
-    /// stop offering the link as a candidate and route around it.
-    pub fn fail_link(&mut self, node: NodeId, port: PortId) {
-        let peer = self.peer(node, port);
+    /// failed, in both directions. Failure-aware routers stop offering the
+    /// link as a candidate and route around it.
+    ///
+    /// Failing an already-failed link is a **no-op** (returns `false`):
+    /// the failure count and epoch stay untouched, so sweeps that sample
+    /// cables with replacement cannot corrupt the bookkeeping. A
+    /// nonexistent `(node, port)` panics with a descriptive message.
+    /// Returns `true` when the link actually transitioned to failed.
+    pub fn fail_link(&mut self, node: NodeId, port: PortId) -> bool {
+        let peer = self.checked_peer(node, port);
+        if self.nodes[node.idx()].ports[port.idx()].failed {
+            return false;
+        }
         self.nodes[node.idx()].ports[port.idx()].failed = true;
         self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = true;
+        self.failed_links += 1;
+        self.failure_epoch += 1;
+        true
     }
 
     /// Undo [`Topology::fail_link`] (repair), in both directions.
-    pub fn restore_link(&mut self, node: NodeId, port: PortId) {
-        let peer = self.peer(node, port);
+    /// Restoring a healthy link is a no-op (returns `false`); a
+    /// nonexistent `(node, port)` panics like [`Topology::fail_link`].
+    pub fn restore_link(&mut self, node: NodeId, port: PortId) -> bool {
+        let peer = self.checked_peer(node, port);
+        if !self.nodes[node.idx()].ports[port.idx()].failed {
+            return false;
+        }
         self.nodes[node.idx()].ports[port.idx()].failed = false;
         self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = false;
+        self.failed_links -= 1;
+        self.failure_epoch += 1;
+        true
+    }
+
+    /// Whether any link is currently failed. O(1); routers use this to
+    /// keep the healthy-network fast path entirely failure-blind.
+    #[inline]
+    pub fn has_failures(&self) -> bool {
+        self.failed_links > 0
+    }
+
+    /// Monotone counter bumped by every effective fail/restore. Cached
+    /// failure-aware routing state (see `route::FailoverTable`) is keyed
+    /// on this value.
+    #[inline]
+    pub fn failure_epoch(&self) -> u64 {
+        self.failure_epoch
     }
 
     /// Whether the directed link out of `(node, port)` is failed.
@@ -188,14 +247,19 @@ impl Topology {
         self.nodes[node.idx()].ports[port.idx()].failed
     }
 
-    /// Number of failed full-duplex links (each counted once).
+    /// Number of failed full-duplex links (each counted once). Maintained
+    /// incrementally by [`Topology::fail_link`] / [`Topology::restore_link`].
     pub fn count_failed_links(&self) -> usize {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.ports.iter())
-            .filter(|l| l.failed)
-            .count()
-            / 2
+        debug_assert_eq!(
+            self.failed_links,
+            self.nodes
+                .iter()
+                .flat_map(|n| n.ports.iter())
+                .filter(|l| l.failed)
+                .count()
+                / 2
+        );
+        self.failed_links
     }
 
     #[inline]
@@ -255,9 +319,10 @@ impl Topology {
         self.nodes.iter().filter(|n| n.kind.is_switch()).count()
     }
 
-    /// Unweighted BFS hop distance (in links) from `src` to every node.
-    /// Used by diameter verification and routing-table construction.
-    pub fn bfs_hops(&self, src: NodeId) -> Vec<u32> {
+    /// Shared BFS body of [`Topology::bfs_hops`] /
+    /// [`Topology::bfs_hops_healthy`], so the failure-blind and
+    /// failure-aware metrics cannot drift apart.
+    fn bfs(&self, src: NodeId, skip_failed: bool) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.nodes.len()];
         let mut queue = std::collections::VecDeque::new();
         dist[src.idx()] = 0;
@@ -266,13 +331,45 @@ impl Topology {
             let d = dist[n.idx()];
             for link in &self.nodes[n.idx()].ports {
                 let p = link.peer.node;
-                if dist[p.idx()] == u32::MAX {
+                if !(skip_failed && link.failed) && dist[p.idx()] == u32::MAX {
                     dist[p.idx()] = d + 1;
                     queue.push_back(p);
                 }
             }
         }
         dist
+    }
+
+    /// Unweighted BFS hop distance (in links) from `src` to every node,
+    /// ignoring fault injection. Used by diameter verification and
+    /// routing-table construction.
+    pub fn bfs_hops(&self, src: NodeId) -> Vec<u32> {
+        self.bfs(src, false)
+    }
+
+    /// Unweighted BFS hop distance from `src` over **healthy** links only:
+    /// failed links are treated as absent. `u32::MAX` marks nodes the
+    /// current failure set disconnects from `src`. This is the metric the
+    /// failure-aware routing fallback and the cable-failure sweeps use.
+    pub fn bfs_hops_healthy(&self, src: NodeId) -> Vec<u32> {
+        self.bfs(src, true)
+    }
+
+    /// All cables — non-PCB full-duplex links — as one canonical
+    /// `(node, port)` end each (the lexicographically smaller end). The
+    /// shared enumeration behind every cable-failure sweep and fault
+    /// suite, so they all sample the same fault model.
+    pub fn cables(&self) -> Vec<(NodeId, PortId)> {
+        let mut out = Vec::new();
+        for (id, node) in self.nodes() {
+            for (p, link) in node.ports.iter().enumerate() {
+                let port = PortId(p as u16);
+                if link.spec.cable != Cable::Pcb && (id, port) < (link.peer.node, link.peer.port) {
+                    out.push((id, port));
+                }
+            }
+        }
+        out
     }
 
     /// Consistency check: every link's peer relation is symmetric.
@@ -319,6 +416,55 @@ impl Network {
 
     pub fn num_ranks(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// Whether the current failure set leaves every endpoint connected
+    /// (over healthy links).
+    pub fn endpoints_connected(&self) -> bool {
+        let d = self.topo.bfs_hops_healthy(self.endpoints[0]);
+        self.endpoints.iter().all(|e| d[e.idx()] != u32::MAX)
+    }
+
+    /// Fault-injection driver: fail up to `want` cables drawn uniformly at
+    /// random, rolling back any draw that would disconnect an endpoint.
+    /// Returns the number actually failed (less than `want` only when the
+    /// topology runs out of redundant cables).
+    pub fn fail_random_cables(&mut self, want: usize, rng: &mut dyn rand::RngCore) -> usize {
+        use rand::seq::SliceRandom;
+        let mut pool = self.topo.cables();
+        pool.shuffle(rng);
+        self.fail_while_connected(&pool, want)
+    }
+
+    /// Deterministic sibling of [`Network::fail_random_cables`]: scans the
+    /// cable list in strided order so the failures spread across the
+    /// machine, rolling back disconnecting draws the same way.
+    pub fn fail_spread_cables(&mut self, count: usize) -> usize {
+        let pool = self.topo.cables();
+        let stride = (pool.len() / count.max(1)).max(1);
+        let mut order = Vec::with_capacity(pool.len());
+        for offset in 0..stride {
+            order.extend(pool.iter().copied().skip(offset).step_by(stride));
+        }
+        self.fail_while_connected(&order, count)
+    }
+
+    fn fail_while_connected(&mut self, order: &[(NodeId, PortId)], want: usize) -> usize {
+        let mut failed = 0;
+        for &(node, port) in order {
+            if failed == want {
+                break;
+            }
+            if !self.topo.fail_link(node, port) {
+                continue;
+            }
+            if self.endpoints_connected() {
+                failed += 1;
+            } else {
+                self.topo.restore_link(node, port);
+            }
+        }
+        failed
     }
 
     /// Injection bandwidth of one endpoint in bytes/ps (sum over its ports).
@@ -388,6 +534,60 @@ mod tests {
         }
         let d = t.bfs_hops(n[0]);
         assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fail_link_is_idempotent_and_tracked() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        let (pa, pb) = t.connect(a, b, spec());
+        assert!(!t.has_failures());
+        assert_eq!(t.failure_epoch(), 0);
+
+        assert!(t.fail_link(a, pa));
+        assert_eq!(t.count_failed_links(), 1);
+        assert_eq!(t.failure_epoch(), 1);
+        // Failing the same link again — from either side — is a no-op.
+        assert!(!t.fail_link(a, pa));
+        assert!(!t.fail_link(b, pb));
+        assert_eq!(t.count_failed_links(), 1);
+        assert_eq!(t.failure_epoch(), 1);
+
+        // Restoring a healthy link is also a no-op.
+        assert!(t.restore_link(b, pb));
+        assert!(!t.restore_link(a, pa));
+        assert_eq!(t.count_failed_links(), 0);
+        assert!(!t.has_failures());
+        assert_eq!(t.failure_epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent port")]
+    fn fail_link_on_missing_port_panics_loudly() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        t.connect(a, b, spec());
+        t.fail_link(a, PortId(7));
+    }
+
+    #[test]
+    fn healthy_bfs_skips_failed_links() {
+        // Ring of 4: kill one link, distances must go the long way round.
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_switch(0, 0, i)).collect();
+        let mut first_port = None;
+        for i in 0..4 {
+            let (p, _) = t.connect(n[i], n[(i + 1) % 4], spec());
+            first_port.get_or_insert((n[i], p));
+        }
+        assert_eq!(t.bfs_hops_healthy(n[0]), vec![0, 1, 2, 1]);
+        let (fn0, fp0) = first_port.unwrap();
+        t.fail_link(fn0, fp0); // kills 0 <-> 1
+        assert_eq!(t.bfs_hops_healthy(n[0]), vec![0, 3, 2, 1]);
+        // The failure-blind BFS still sees the pristine ring.
+        assert_eq!(t.bfs_hops(n[0]), vec![0, 1, 2, 1]);
     }
 
     #[test]

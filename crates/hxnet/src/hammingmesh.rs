@@ -23,7 +23,7 @@
 //! VC is reached).
 
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
-use crate::route::{Hop, LoadProbe, Router, UpDownTable};
+use crate::route::{FailoverTable, Hop, LoadProbe, Router, UpDownTable};
 use crate::{cable_link, pcb_link};
 use std::collections::HashMap;
 
@@ -326,6 +326,7 @@ impl HxMeshParams {
             acc_at,
             table,
             switch_net,
+            failover: FailoverTable::new(),
         };
         Network {
             topo,
@@ -359,6 +360,11 @@ pub struct HxMeshRouter {
     acc_at: Vec<NodeId>,
     table: UpDownTable,
     switch_net: HashMap<NodeId, NetRef>,
+    /// Safety net for fault injection beyond the structured handling
+    /// below: guarantees progress and failed-link avoidance for *any*
+    /// failure set (e.g. both exits of a board line cut at once), not
+    /// just the single-cable cases §IV-C's adaptivity covers.
+    failover: FailoverTable,
 }
 
 /// Highest VC of the 3-VC scheme; wrap shortcuts are disabled here.
@@ -614,14 +620,10 @@ impl HxMeshRouter {
             }
         }
     }
-}
-
-impl Router for HxMeshRouter {
-    fn num_vcs(&self) -> u8 {
-        3
-    }
-
-    fn candidates(
+    /// The structured §IV-C candidate set (board lines, exits, trees),
+    /// locally failure-aware for single-cable cases; `candidates` runs
+    /// it through the [`FailoverTable`] whenever any link is failed.
+    fn structured_candidates(
         &self,
         topo: &Topology,
         node: NodeId,
@@ -629,9 +631,6 @@ impl Router for HxMeshRouter {
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
-        if node == target {
-            return;
-        }
         if let Some(&net) = self.switch_net.get(&node) {
             // Global-network switch: up*/down* toward the entry accelerators,
             // skipping failed links as long as a healthy candidate remains.
@@ -734,10 +733,33 @@ impl Router for HxMeshRouter {
             self.exit_row_candidates(topo, node, co, vc, out);
         }
     }
+}
+
+impl Router for HxMeshRouter {
+    fn num_vcs(&self) -> u8 {
+        3
+    }
+
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        if node == target {
+            return;
+        }
+        self.structured_candidates(topo, node, vc, target, out);
+        if topo.has_failures() {
+            self.failover.filter(topo, node, vc, target, out);
+        }
+    }
 
     fn select_waypoint(
         &self,
-        _topo: &Topology,
+        topo: &Topology,
         src: NodeId,
         dst: NodeId,
         probe: &dyn LoadProbe,
@@ -747,6 +769,14 @@ impl Router for HxMeshRouter {
         let d = self.coords[dst.idx()];
         if s.bi == d.bi || s.bj == d.bj {
             return None;
+        }
+        // Under fault injection, only offer the column-first class when
+        // the failure set leaves both phases of it routable.
+        if topo.has_failures() {
+            let w = self.acc(d.bi, s.bj, d.r, d.c);
+            if !(self.failover.reachable(topo, src, w) && self.failover.reachable(topo, w, dst)) {
+                return None;
+            }
         }
         // Choose row-first (no waypoint) or column-first (waypoint on the
         // board (d.bi, s.bj)) by comparing local queue occupancy of the two
@@ -774,14 +804,21 @@ impl Router for HxMeshRouter {
         }
     }
 
-    fn waypoint_options(&self, _topo: &Topology, src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) {
+    fn waypoint_options(&self, topo: &Topology, src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) {
         // Diagonal traffic has exactly two path classes: row-first (the
         // direct candidates) and column-first, expressed as a waypoint on
-        // the board (d.bi, s.bj) — mirrors select_waypoint's option set.
+        // the board (d.bi, s.bj) — mirrors select_waypoint's option set,
+        // including its fault-injection reachability guard (so the flow
+        // engine never builds a subflow through a cut-off board).
         let s = self.coords[src.idx()];
         let d = self.coords[dst.idx()];
         if s.bi != d.bi && s.bj != d.bj {
-            out.push(self.acc(d.bi, s.bj, d.r, d.c));
+            let w = self.acc(d.bi, s.bj, d.r, d.c);
+            if !topo.has_failures()
+                || (self.failover.reachable(topo, src, w) && self.failover.reachable(topo, w, dst))
+            {
+                out.push(w);
+            }
         }
     }
 

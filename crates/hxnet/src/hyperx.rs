@@ -6,7 +6,9 @@
 //! ports to the column network, and every row/column network is a single
 //! switch (dimension-wise fully connected). We therefore build HyperX
 //! through the HammingMesh constructor, which also gives us its adaptive
-//! routing for free.
+//! routing — including the failure-aware candidate filtering of
+//! `hxnet::route::FailoverTable` — for free: HyperX traffic routes around
+//! failed cables exactly like an Hx1Mesh does.
 
 use crate::graph::Network;
 use crate::hammingmesh::HxMeshParams;
@@ -78,6 +80,39 @@ mod tests {
         assert_eq!(net.topo.count_cables(Cable::Dac), 2048);
         assert_eq!(net.topo.count_cables(Cable::Aoc), 2048);
         assert_eq!(net.topo.count_cables(Cable::Pcb), 0);
+    }
+
+    #[test]
+    fn routing_survives_a_failed_row_cable() {
+        use crate::graph::PortId;
+        let mut net = HyperXParams {
+            x: 4,
+            y: 4,
+            radix: 64,
+        }
+        .build();
+        // Endpoint 0's East port (port 0, wired first) is a row cable.
+        let src = net.endpoints[0];
+        let dead = PortId(0);
+        assert!(net.topo.kind(net.topo.peer(src, dead).node).is_switch());
+        net.topo.fail_link(src, dead);
+        // Every destination is still reached, never over the dead link.
+        for d in 1..net.endpoints.len() {
+            let dst = net.endpoints[d];
+            let (mut node, mut vc, mut hops) = (src, 0u8, 0u32);
+            while node != dst {
+                let mut cand = Vec::new();
+                net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+                assert!(!cand.is_empty(), "stuck at {node:?} toward {d}");
+                for h in &cand {
+                    assert!(!net.topo.link_failed(node, h.port));
+                }
+                node = net.topo.peer(node, cand[0].port).node;
+                vc = cand[0].vc;
+                hops += 1;
+                assert!(hops <= 8, "detour too long toward {d}");
+            }
+        }
     }
 
     #[test]

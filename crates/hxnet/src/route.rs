@@ -9,6 +9,7 @@
 
 use crate::graph::{NodeId, PortId, Topology};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Congestion oracle the simulator exposes to routers for source-side
 /// decisions (e.g. UGAL's local-queue comparison).
@@ -46,6 +47,14 @@ pub trait Router: Send + Sync {
     /// destination afterwards. Implementations must guarantee progress: the
     /// candidate set is non-empty whenever `node != target`, and following
     /// any sequence of candidates reaches `target` in finitely many hops.
+    ///
+    /// **Fault-injection contract** (every shipped router honors it, via
+    /// [`FailoverTable`]): no candidate ever uses a link marked failed by
+    /// [`Topology::fail_link`], and the progress guarantee holds as long
+    /// as the current failure set leaves `target` reachable from `node`.
+    /// When failures *disconnect* the pair, the candidate set is empty —
+    /// the router reports unreachability instead of looping — and the
+    /// simulation engines turn that into a hard error naming the pair.
     fn candidates(&self, topo: &Topology, node: NodeId, vc: u8, target: NodeId, out: &mut Vec<Hop>);
 
     /// Source-side path selection, called once at injection. Returning
@@ -82,6 +91,140 @@ pub trait Router: Send + Sync {
         _dst: NodeId,
         _out: &mut Vec<NodeId>,
     ) {
+    }
+}
+
+/// Failure-aware routing fallback shared by every topology router.
+///
+/// The structured routers (up*/down*, UGAL, dimension-order, HxMesh) are
+/// built for the healthy graph; under fault injection their candidate sets
+/// can offer a dead link or — worse — steer a packet into a region whose
+/// only way out was cut. `FailoverTable` repairs that generically: while
+/// [`Topology::has_failures`] holds, a router passes its structured
+/// candidate set through [`FailoverTable::filter`], which
+///
+/// 1. drops candidates whose immediate link is failed, and candidates
+///    that do not strictly decrease the *failure-aware* BFS distance to
+///    the target (so every surviving hop makes provable progress and no
+///    walk can revisit a node, no matter how ties are broken);
+/// 2. if nothing survives — all minimal routes are cut — replaces the set
+///    with every healthy port on a failure-aware shortest path (the
+///    "failover" routes), keeping the packet's current VC;
+/// 3. leaves the set empty when the failure set disconnects the pair,
+///    which per the [`Router`] contract means "unreachable".
+///
+/// Distances are healthy-graph BFS trees rooted at each requested target,
+/// computed lazily and memoized per [`Topology::failure_epoch`] — a
+/// fail/restore invalidates the whole cache. With no failures present the
+/// router never calls in here, so pristine-network routing (and its
+/// performance) is bit-identical to the failure-blind code.
+///
+/// The trade-off is fidelity, not correctness: while any failure exists,
+/// non-minimal adaptive escapes (HxMesh wrap-arounds, Dragonfly local
+/// detours) that don't shorten the failure-aware distance are suppressed.
+/// Deadlock freedom relies on the engines' buffer sizing rather than VC
+/// discipline on failover routes; the packet engine's default 8 MiB
+/// per-(port, VC) buffers make cyclic credit stalls unreachable at the
+/// scales the fault suites simulate.
+#[derive(Debug, Default)]
+pub struct FailoverTable {
+    cache: Mutex<FailoverCache>,
+}
+
+#[derive(Debug, Default)]
+struct FailoverCache {
+    epoch: u64,
+    /// Per target: failure-aware BFS distance from every node to it.
+    dist: HashMap<NodeId, Vec<u32>>,
+}
+
+impl FailoverTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` with the failure-aware distance vector toward `target`
+    /// (recomputing the cache if the failure epoch moved).
+    fn with_dist<R>(&self, topo: &Topology, target: NodeId, f: impl FnOnce(&[u32]) -> R) -> R {
+        let mut cache = self.cache.lock().unwrap();
+        if cache.epoch != topo.failure_epoch() {
+            cache.epoch = topo.failure_epoch();
+            cache.dist.clear();
+        }
+        let dist = cache
+            .dist
+            .entry(target)
+            // Links are full-duplex and fail in both directions, so the
+            // BFS tree rooted at the target doubles as distance-to-target.
+            .or_insert_with(|| topo.bfs_hops_healthy(target));
+        f(dist)
+    }
+
+    /// Whether the current failure set leaves `target` reachable from
+    /// `node`. Used by source-side waypoint selection to avoid steering
+    /// packets at a cut-off intermediate.
+    pub fn reachable(&self, topo: &Topology, node: NodeId, target: NodeId) -> bool {
+        if !topo.has_failures() {
+            return true;
+        }
+        self.with_dist(topo, target, |dist| dist[node.idx()] != u32::MAX)
+    }
+
+    /// Apply the failure filter described on [`FailoverTable`] to a
+    /// structured candidate set. `vc` is the packet's current VC, used
+    /// for the failover routes of step 2. Call only when
+    /// [`Topology::has_failures`] — the healthy path must stay untouched.
+    pub fn filter(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        debug_assert!(topo.has_failures());
+        if node == target {
+            out.clear();
+            return;
+        }
+        self.with_dist(topo, target, |dist| {
+            let d = dist[node.idx()];
+            if d == u32::MAX {
+                out.clear(); // disconnected: report unreachable
+                return;
+            }
+            out.retain(|h| {
+                let link = topo.link(node, h.port);
+                !link.failed && dist[link.peer.node.idx()] < d
+            });
+            if out.is_empty() {
+                // All structured routes are cut here: fail over to every
+                // healthy shortest-path port in the failure-aware graph.
+                for (p, link) in topo.node(node).ports.iter().enumerate() {
+                    if !link.failed && dist[link.peer.node.idx()] + 1 == d {
+                        out.push(Hop {
+                            port: PortId(p as u16),
+                            vc,
+                        });
+                    }
+                }
+            } else {
+                // The retain above can leave duplicates when a router
+                // offers the same port under several roles.
+                let mut i = 0;
+                while i < out.len() {
+                    if out[..i].iter().any(|h| h.port == out[i].port) {
+                        out.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            debug_assert!(
+                !out.is_empty(),
+                "reachable target {target:?} but no healthy shortest-path port at {node:?}"
+            );
+        });
     }
 }
 
@@ -204,11 +347,16 @@ impl UpDownTable {
 /// are every port that lies on some shortest path. No VC management (always
 /// VC 0) — **not** deadlock-free in general; used as a reference router in
 /// tests and for diameter measurements, not in the evaluation runs.
+///
+/// Failure-aware: under fault injection the static table is corrected by
+/// a [`FailoverTable`], so candidates avoid failed links and re-route over
+/// the failure-aware shortest paths.
 pub struct ShortestPathRouter {
     /// dist[node][target_endpoint_index]
     dist: Vec<Vec<u32>>,
     /// endpoint node -> dense index
     endpoint_index: HashMap<NodeId, usize>,
+    failover: FailoverTable,
 }
 
 impl ShortestPathRouter {
@@ -231,6 +379,7 @@ impl ShortestPathRouter {
         Self {
             dist,
             endpoint_index,
+            failover: FailoverTable::new(),
         }
     }
 
@@ -264,6 +413,9 @@ impl Router for ShortestPathRouter {
                     vc,
                 });
             }
+        }
+        if topo.has_failures() {
+            self.failover.filter(topo, node, vc, target, out);
         }
     }
 }
@@ -365,5 +517,50 @@ mod tests {
         let mut out = Vec::new();
         r.candidates(&t, eps[0], 0, eps[1], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    /// Two leaves under two roots: failing one root's link re-routes the
+    /// shortest-path candidates through the other; failing both reports
+    /// the destination unreachable (empty candidate set).
+    #[test]
+    fn failover_reroutes_and_reports_unreachable() {
+        let mut t = Topology::new();
+        let e0 = t.add_accelerator(0);
+        let e1 = t.add_accelerator(1);
+        let l0 = t.add_switch(0, 0, 0);
+        let l1 = t.add_switch(0, 0, 1);
+        let ra = t.add_switch(1, 0, 0);
+        let rb = t.add_switch(1, 0, 1);
+        t.connect(e0, l0, spec());
+        t.connect(e1, l1, spec());
+        let (l0a, _) = t.connect(l0, ra, spec());
+        t.connect(l1, ra, spec());
+        let (l0b, _) = t.connect(l0, rb, spec());
+        t.connect(l1, rb, spec());
+        let r = ShortestPathRouter::build(&t, &[e0, e1]);
+
+        let cands = |t: &Topology, node| {
+            let mut out = Vec::new();
+            r.candidates(t, node, 0, e1, &mut out);
+            out
+        };
+        assert_eq!(cands(&t, l0).len(), 2); // either root works
+
+        t.fail_link(l0, l0a);
+        let c = cands(&t, l0);
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].port, l0b);
+        assert!(!t.link_failed(l0, c[0].port));
+        assert!(r.failover.reachable(&t, l0, e1));
+
+        t.fail_link(l0, l0b);
+        assert!(cands(&t, l0).is_empty(), "disconnected pair must be empty");
+        assert!(cands(&t, e0).is_empty());
+        assert!(!r.failover.reachable(&t, l0, e1));
+
+        // Repair brings the original candidate set back.
+        t.restore_link(l0, l0a);
+        t.restore_link(l0, l0b);
+        assert_eq!(cands(&t, l0).len(), 2);
     }
 }

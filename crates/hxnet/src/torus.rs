@@ -13,7 +13,7 @@
 //! wrap-around link bumps the dateline bit.
 
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
-use crate::route::{Hop, Router};
+use crate::route::{FailoverTable, Hop, Router};
 use crate::{cable_link, pcb_link};
 
 /// Port slots of a torus accelerator, same order as HammingMesh.
@@ -102,6 +102,7 @@ impl TorusParams {
             cols: self.cols as u16,
             rows: self.rows as u16,
             ports,
+            failover: FailoverTable::new(),
         };
         Network {
             topo,
@@ -113,11 +114,17 @@ impl TorusParams {
 }
 
 /// Dimension-order adaptive-direction torus routing with dateline VCs.
+///
+/// Failure-aware: while any link is failed, the dimension-order candidate
+/// set is corrected by a [`FailoverTable`] — a dead ring link in the
+/// minimal direction diverts traffic the long way round (or through the
+/// other dimension first) along failure-aware shortest paths.
 pub struct TorusRouter {
     cols: u16,
     rows: u16,
     /// E,W,N,S ports per accelerator node index.
     ports: Vec<[PortId; 4]>,
+    failover: FailoverTable,
 }
 
 impl TorusRouter {
@@ -144,7 +151,7 @@ impl Router for TorusRouter {
 
     fn candidates(
         &self,
-        _topo: &Topology,
+        topo: &Topology,
         node: NodeId,
         vc: u8,
         target: NodeId,
@@ -195,6 +202,9 @@ impl Router for TorusRouter {
                     vc: nvc,
                 });
             }
+        }
+        if topo.has_failures() {
+            self.failover.filter(topo, node, vc, target, out);
         }
     }
 }
@@ -293,6 +303,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn routing_diverts_around_failed_wrap_link() {
+        let net = TorusParams {
+            cols: 8,
+            rows: 8,
+            board: 2,
+        }
+        .build();
+        let mut net = net;
+        // 0 -> 7 is normally 1 hop west through the wrap; kill that cable.
+        let src = net.endpoints[0];
+        let west = PortId(1); // port order: E, W, N, S (wired E first)
+        let dead_peer = net.topo.peer(src, west).node;
+        assert_eq!(dead_peer, net.endpoints[7], "wrap wiring assumption");
+        net.topo.fail_link(src, west);
+        // Shortest healthy detour: south, west through row 1's wrap, north.
+        let (sn, dn) = (net.endpoints[0], net.endpoints[7]);
+        let mut node = sn;
+        let mut vc = 0u8;
+        let mut hops = 0;
+        while node != dn {
+            let mut cand = Vec::new();
+            net.router.candidates(&net.topo, node, vc, dn, &mut cand);
+            assert!(!cand.is_empty(), "stuck at {node:?}");
+            for h in &cand {
+                assert!(!net.topo.link_failed(node, h.port), "dead link offered");
+            }
+            node = net.topo.peer(node, cand[0].port).node;
+            vc = cand[0].vc;
+            hops += 1;
+            assert!(hops <= 8);
+        }
+        assert_eq!(hops, 3, "expected the S-W-N detour");
+        // Repair restores the single-hop wrap route.
+        net.topo.restore_link(src, west);
+        assert_eq!(walk(&net, 0, 7), 1);
     }
 
     #[test]

@@ -406,7 +406,9 @@ impl<'n> Engine<'n> {
             .candidates(&self.net.topo, node, vc, target, &mut cand);
         assert!(
             !cand.is_empty(),
-            "router produced no candidates at {node:?} (vc {vc}) toward {target:?}"
+            "router produced no candidates at {node:?} (vc {vc}) toward {target:?} \
+             ({} failed links — target disconnected by fail_link?)",
+            self.net.topo.count_failed_links()
         );
         // Score: free downstream credits minus our queued bytes.
         let mut best = 0usize;

@@ -32,7 +32,14 @@
 //!
 //! Routes avoid links marked failed via [`hxnet::Topology::fail_link`]
 //! exactly like the packet engine does, because both ask the same
-//! [`hxnet::Router`] for candidates.
+//! [`hxnet::Router`] for candidates: under fault injection every router
+//! filters its first-hop, transit, and waypoint candidates through
+//! `hxnet::route::FailoverTable`, so the multipath route sets built here
+//! contain only healthy links and the two engines agree on which paths
+//! exist. Waypoint classes the failure set cuts off are dropped by
+//! `Router::waypoint_options` before any subflow is built over them; a
+//! destination the failure set disconnects entirely is a hard error at
+//! injection (`start_send`), mirroring the packet engine.
 
 use crate::app::{Application, Cmd, Ctx, MsgInfo};
 use crate::stats::SimStats;
@@ -498,7 +505,13 @@ impl<'n> FlowEngine<'n> {
             self.cand = cand;
         }
         self.waypoints = waypoints;
-        assert!(!routes.is_empty(), "no route from rank {src} to rank {dst}");
+        assert!(
+            !routes.is_empty(),
+            "no route from rank {src} to rank {dst} on {} \
+             ({} failed links — destination disconnected?)",
+            self.net.name,
+            self.net.topo.count_failed_links()
+        );
 
         for r in &routes {
             for &li in &r.links {
@@ -596,8 +609,10 @@ impl<'n> FlowEngine<'n> {
             router.candidates(topo, node, hop.vc, target, &mut cand);
             assert!(
                 !cand.is_empty(),
-                "router produced no candidates at {node:?} (vc {}) toward {target:?}",
-                hop.vc
+                "router produced no candidates at {node:?} (vc {}) toward {target:?} \
+                 ({} failed links — target disconnected?)",
+                hop.vc,
+                topo.count_failed_links()
             );
             // Least-subscribed candidate; ties break to the lowest port.
             // Candidates leading to an already-visited node lose to fresh

@@ -8,6 +8,8 @@ use hammingmesh::hxcollect::rings::{
 use hammingmesh::hxcollect::{
     bidirectional_ring_allreduce, binomial_tree_allreduce, ring_allreduce, torus2d_allreduce,
 };
+use hammingmesh::hxnet::route::ShortestPathRouter;
+use hammingmesh::hxnet::{Network, PortId};
 use hammingmesh::prelude::*;
 use proptest::prelude::*;
 
@@ -130,6 +132,85 @@ proptest! {
         }
     }
 
+    /// Failure-aware routing, for every topology x router combination:
+    /// under a random set of up to k failed cables that keeps all
+    /// endpoints connected, every route — following *random* candidate
+    /// choices — terminates within the hop bound, never traverses a
+    /// failed link, and delivers to the destination.
+    #[test]
+    fn prop_failure_aware_routing_delivers(
+        net_idx in 0usize..7,
+        k in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut net = fault_net(net_idx);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let failed = net.fail_random_cables(k, &mut rng);
+        prop_assert!(failed <= k);
+        let n = net.num_ranks();
+        let max_hops = 4 * net.topo.num_nodes() as u32;
+        for _ in 0..12 {
+            let s = rng.random_range(0..n);
+            let d = rng.random_range(0..n);
+            if s == d { continue; }
+            let (mut node, dst) = (net.endpoints[s], net.endpoints[d]);
+            let mut vc = 0u8;
+            let mut hops = 0u32;
+            while node != dst {
+                let mut cand = Vec::new();
+                net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+                prop_assert!(
+                    !cand.is_empty(),
+                    "{}: stuck at {:?} toward rank {} ({} failed cables)",
+                    net.name, node, d, failed
+                );
+                let h = cand[rng.random_range(0..cand.len())];
+                prop_assert!(
+                    !net.topo.link_failed(node, h.port),
+                    "{}: dead link {:?}:{:?} offered", net.name, node, h.port
+                );
+                node = net.topo.peer(node, h.port).node;
+                vc = h.vc;
+                hops += 1;
+                prop_assert!(hops < max_hops, "{}: livelock {}->{}", net.name, s, d);
+            }
+        }
+    }
+
+    /// Disconnection is reported, not looped on: isolating an endpoint
+    /// (all its links failed) makes every router return an empty
+    /// candidate set toward it — and from it — instead of a dead link.
+    #[test]
+    fn prop_disconnected_endpoint_is_unreachable(
+        net_idx in 0usize..7,
+        victim in 0usize..16,
+        probe in 0usize..16,
+    ) {
+        let mut net = fault_net(net_idx);
+        let n = net.num_ranks();
+        let (victim, probe) = (victim % n, probe % n);
+        prop_assume!(victim != probe);
+        let vnode = net.endpoints[victim];
+        for p in 0..net.topo.num_ports(vnode) {
+            net.topo.fail_link(vnode, PortId(p as u16));
+        }
+        let pnode = net.endpoints[probe];
+        let mut cand = Vec::new();
+        net.router.candidates(&net.topo, pnode, 0, vnode, &mut cand);
+        prop_assert!(cand.is_empty(), "{}: {:?}", net.name, cand);
+        cand.clear();
+        net.router.candidates(&net.topo, vnode, 0, pnode, &mut cand);
+        prop_assert!(cand.is_empty(), "{}: {:?}", net.name, cand);
+        // Repair: routing between the pair works again.
+        for p in 0..net.topo.num_ports(vnode) {
+            net.topo.restore_link(vnode, PortId(p as u16));
+        }
+        cand.clear();
+        net.router.candidates(&net.topo, pnode, 0, vnode, &mut cand);
+        prop_assert!(!cand.is_empty(), "{}: no route after repair", net.name);
+    }
+
     /// Random traffic on random small HxMeshes always drains (deadlock
     /// freedom of the 3-VC scheme under credit flow control).
     #[test]
@@ -145,5 +226,52 @@ proptest! {
         let cfg = SimConfig { max_time_ps: 100_000_000_000, ..Default::default() };
         let stats = Engine::new(&net, cfg).run(&mut app);
         prop_assert!(stats.clean(), "{:?}", stats);
+    }
+}
+
+/// The topology x router combinations the fault-model proptests cover:
+/// every baseline topology under its own adaptive router, plus the
+/// generic [`ShortestPathRouter`] over representative switch-centric and
+/// accelerator-forwarding graphs. Shapes are kept small so each proptest
+/// case builds its network from scratch in microseconds.
+fn fault_net(idx: usize) -> Network {
+    match idx {
+        0 => FatTreeParams::scaled_nonblocking(16, 8).build(),
+        1 => DragonflyParams {
+            a: 4,
+            p: 2,
+            h: 2,
+            groups: 4,
+        }
+        .build(),
+        2 => HyperXParams {
+            x: 4,
+            y: 4,
+            radix: 64,
+        }
+        .build(),
+        3 => TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build(),
+        4 => HxMeshParams::square(2, 3).build(),
+        5 | 6 => {
+            let mut net = if idx == 5 {
+                FatTreeParams::scaled_nonblocking(16, 8).build()
+            } else {
+                TorusParams {
+                    cols: 4,
+                    rows: 4,
+                    board: 2,
+                }
+                .build()
+            };
+            net.router = Box::new(ShortestPathRouter::build(&net.topo, &net.endpoints));
+            net.name = format!("{} + shortest-path router", net.name);
+            net
+        }
+        _ => unreachable!("fault_net index out of range"),
     }
 }
