@@ -39,11 +39,13 @@ smoke!(
     fig11_alltoall,
     fig12_permutation,
     fig13_allreduce,
+    fig14_reduction_scaling,
     fig15_dnn_savings,
     fig16_disjoint_rings,
     table2,
     ablations,
     dnn_iteration_times,
+    cluster_sweep,
 );
 
 /// The routed cable-failure sweep (`fig10_failures --mode routed`) must
@@ -70,6 +72,58 @@ fn fig10_failures_routed() {
     assert_eq!(body.lines().count(), 1 + 5 * 5, "{body}");
     assert!(body.lines().skip(1).all(|l| l.ends_with(",true")), "{body}");
     std::fs::remove_file(&csv).ok();
+}
+
+/// The cluster-lifetime sweep at quick scale: 64 boards, mid-run cable
+/// fail + repair events at every load point, per-job wait/completion rows
+/// and time-averaged fragmentation in the CSV — and the whole CSV is
+/// byte-for-byte reproducible for a fixed seed.
+#[test]
+fn cluster_sweep_csv_is_complete_and_deterministic() {
+    let run = |tag: &str| {
+        let csv =
+            std::env::temp_dir().join(format!("hx_cluster_sweep_{}_{tag}.csv", std::process::id()));
+        let out = Command::new(env!("CARGO_BIN_EXE_cluster_sweep"))
+            .args(["--traces", "12", "--seed", "12648430"])
+            .args(["--csv", csv.to_str().unwrap()])
+            .output()
+            .expect("spawn cluster_sweep");
+        assert!(
+            out.status.success(),
+            "cluster_sweep exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        let body = std::fs::read_to_string(&csv).expect("cluster_sweep CSV written");
+        std::fs::remove_file(&csv).ok();
+        body
+    };
+
+    let body = run("a");
+    let header = body.lines().next().unwrap();
+    for col in ["wait_ps", "jct_ps", "frag_avg", "fails", "repairs"] {
+        assert!(header.contains(col), "missing column {col}: {header}");
+    }
+    // Three load points, each with one summary row; every load saw at
+    // least one mid-run fail AND repair event (columns 16/17).
+    let summaries: Vec<&str> = body.lines().filter(|l| l.starts_with("summary,")).collect();
+    assert_eq!(summaries.len(), 3, "{body}");
+    for s in &summaries {
+        let f: Vec<&str> = s.split(',').collect();
+        let fails: u32 = f[15].parse().unwrap();
+        let repairs: u32 = f[16].parse().unwrap();
+        assert!(fails >= 1, "no mid-run failure: {s}");
+        assert!(repairs >= 1, "no mid-run repair: {s}");
+    }
+    // Per-job rows carry wait + completion times.
+    let jobs = body.lines().filter(|l| l.starts_with("job,")).count();
+    assert_eq!(
+        jobs + body.lines().filter(|l| l.starts_with("rejected,")).count(),
+        3 * 12
+    );
+
+    assert_eq!(body, run("b"), "same seed must reproduce the CSV exactly");
 }
 
 /// The CI perf-smoke harness must run and emit its three artifacts.

@@ -5,8 +5,9 @@
 //! (Hoefler et al., SC 2022): the HxMesh topology family and every
 //! substrate its evaluation depends on — the baseline topologies, a
 //! packet-level network simulator, the collective-communication
-//! algorithms, the capex cost model, the job allocator, and the DNN
-//! workload models.
+//! algorithms, the capex cost model, the job allocator, the DNN
+//! workload models, and the cluster-lifetime simulator that composes
+//! them all ([`hxcluster`]).
 //!
 //! This crate is the facade: it re-exports the subsystem crates and adds
 //! the high-level experiment drivers used by the benchmark harness and the
@@ -22,6 +23,7 @@
 //! ```
 
 pub use hxalloc;
+pub use hxcluster;
 pub use hxcollect;
 pub use hxcost;
 pub use hxmodels;
@@ -36,6 +38,7 @@ pub mod prelude {
     pub use crate::experiments::{self, AllreduceAlgo, Measurement};
     pub use crate::topologies::{self, TopologyChoice};
     pub use hxalloc::{BoardMesh, Heuristics};
+    pub use hxcluster::{ClusterConfig, ClusterReport, ClusterSim};
     pub use hxcollect::schedule::Schedule;
     pub use hxcost::{ClusterSize, Inventory, Prices};
     pub use hxmodels::DnnWorkload;

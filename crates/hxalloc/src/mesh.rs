@@ -122,6 +122,67 @@ impl BoardMesh {
         self.allocated_boards() as f64 / self.working_boards() as f64
     }
 
+    /// Working boards currently unallocated.
+    pub fn free_boards(&self) -> usize {
+        self.working_boards() - self.allocated_boards()
+    }
+
+    /// Largest `u x v` virtual sub-mesh the greedy allocator could place
+    /// right now, by area. For each candidate width `v` the rows are
+    /// scanned exactly as [`BoardMesh::allocate`]'s greedy core does —
+    /// rows whose free set (or whose intersection with the running common
+    /// set) drops below `v` are skipped — and the row count the scan
+    /// accumulates is precisely the largest `u` for which
+    /// `greedy_find(u, v)` would succeed. Rows need not be adjacent,
+    /// columns must be common: this is the allocator's own feasibility,
+    /// not the NP-hard maximum biclique.
+    pub fn largest_free_rect(&self) -> (usize, usize) {
+        let free: Vec<Vec<usize>> = (0..self.y).map(|r| self.free_cols(r)).collect();
+        let mut best = (0usize, 0usize);
+        for v in 1..=self.x {
+            let mut selected = 0usize;
+            let mut common: Vec<usize> = Vec::new();
+            for cols in &free {
+                if cols.len() < v {
+                    continue;
+                }
+                if selected == 0 {
+                    common = cols.clone();
+                    selected = 1;
+                } else {
+                    let inter: Vec<usize> = common
+                        .iter()
+                        .copied()
+                        .filter(|c| cols.contains(c))
+                        .collect();
+                    if inter.len() >= v {
+                        common = inter;
+                        selected += 1;
+                    }
+                }
+            }
+            if selected * v > best.0 * best.1 {
+                best = (selected, v);
+            }
+        }
+        best
+    }
+
+    /// External fragmentation of the free space: the fraction of free
+    /// boards that do **not** fit in the largest greedily-placeable
+    /// rectangle ([`BoardMesh::largest_free_rect`]). 0.0 when the free
+    /// space is one placeable block (or there is none); approaches 1.0
+    /// when the free boards are scattered so no large job can land. This
+    /// is the quantity `hxcluster` integrates over time.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_boards();
+        if free == 0 {
+            return 0.0;
+        }
+        let (u, v) = self.largest_free_rect();
+        1.0 - (u * v) as f64 / free as f64
+    }
+
     pub fn owner(&self, row: usize, col: usize) -> Option<JobId> {
         self.state[row * self.x + col]
     }
@@ -328,7 +389,10 @@ impl BoardMesh {
     /// original placement if replacement fails).
     pub fn defragment(&mut self, h: Heuristics) -> usize {
         let mut jobs: Vec<Placement> = self.placements.values().cloned().collect();
-        jobs.sort_by_key(|p| std::cmp::Reverse(p.boards()));
+        // Job id breaks board-count ties: without it the restart order —
+        // and therefore the resulting placements — would inherit the
+        // HashMap's per-process iteration order and differ run to run.
+        jobs.sort_by_key(|p| (std::cmp::Reverse(p.boards()), p.job));
         // Checkpoint: clear all placements.
         for p in &jobs {
             for (r, c) in p.cells() {
@@ -502,6 +566,50 @@ mod tests {
         let t = m.upper_traffic_alltoall(&p.rows, &p.cols);
         assert!(t <= 0.5, "upper traffic {t}");
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn largest_free_rect_and_fragmentation() {
+        let mut m = BoardMesh::new(4, 4);
+        assert_eq!(m.largest_free_rect(), (4, 4));
+        assert_eq!(m.fragmentation(), 0.0);
+        assert_eq!(m.free_boards(), 16);
+
+        // A full middle row splits nothing column-wise: rows need not be
+        // contiguous, so a 3x4 virtual sub-mesh survives.
+        m.allocate(1, 1, 4, Heuristics::none()).unwrap();
+        assert_eq!(m.largest_free_rect(), (3, 4));
+        assert_eq!(m.fragmentation(), 0.0);
+
+        // Staggered failures fragment the free space: the free columns
+        // alternate between rows, so no rectangle covers all 12 free
+        // boards and fragmentation becomes positive.
+        let mut m = BoardMesh::new(4, 4);
+        for r in 0..4 {
+            m.fail_board(r, if r % 2 == 0 { 0 } else { 1 });
+        }
+        let (u, v) = m.largest_free_rect();
+        assert!(u * v >= 8 && u * v < 12, "({u},{v})");
+        assert_eq!(m.free_boards(), 12);
+        let f = m.fragmentation();
+        assert!(f > 0.0 && f < 0.5, "{f}");
+
+        // A narrow early row must be *skipped*, as greedy_find skips it:
+        // row 0 offers one free column, row 1 four — the feasible rect is
+        // the 1x4 strip (greedy_find(1, 4) succeeds), not a 2x1 column.
+        let mut m = BoardMesh::new(4, 2);
+        m.fail_board(0, 1);
+        m.fail_board(0, 2);
+        m.fail_board(0, 3);
+        assert_eq!(m.largest_free_rect(), (1, 4));
+        assert!(m.allocate(1, 1, 4, Heuristics::none()).is_ok());
+        assert!((m.fragmentation() - 0.0).abs() < 1e-9); // 1 board left
+
+        // Full mesh: no free boards, fragmentation defined as 0.
+        let mut m = BoardMesh::new(2, 2);
+        m.allocate(1, 2, 2, Heuristics::none()).unwrap();
+        assert_eq!(m.free_boards(), 0);
+        assert_eq!(m.fragmentation(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Job model: what a training job asks for and how the arrival stream is
+//! drawn.
+//!
+//! Sizes and shapes come from `hxalloc::workload`'s calibrated MLaaS
+//! distribution (the Fig. 7 stand-in); arrivals are Poisson (exponential
+//! interarrival gaps), the standard open-arrival model for shared-cluster
+//! scheduling studies and what the DSLab-style host/scheduler examples
+//! drive their simulations with.
+
+use hxalloc::workload::JobSizeDistribution;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Everything known about a job at submission time.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub id: u32,
+    /// Requested board shape (may be transposed/reshaped at placement).
+    pub u: usize,
+    pub v: usize,
+    pub arrival_ps: u64,
+    /// Training iterations the job runs before departing.
+    pub iters: u32,
+    /// Gradient bytes per accelerator reduced each iteration.
+    pub grad_bytes: u64,
+    /// Compute time of one iteration (ps).
+    pub compute_ps: u64,
+}
+
+impl JobSpec {
+    pub fn boards(&self) -> usize {
+        self.u * self.v
+    }
+}
+
+/// Sample from Exp(mean) by inversion. `u` is clamped away from 1.0 so the
+/// logarithm stays finite.
+pub fn exponential_ps(mean_ps: u64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let x = -(1.0 - u.min(1.0 - 1e-12)).ln() * mean_ps as f64;
+    x.round() as u64
+}
+
+/// Draw `n` jobs with Poisson arrivals at `mean_interarrival_ps`, sizes and
+/// shapes from `dist`, iteration counts uniform in `iters`, and the given
+/// per-iteration constants. Job ids are arrival-ordered.
+pub fn sample_jobs(
+    n: usize,
+    mean_interarrival_ps: u64,
+    dist: &JobSizeDistribution,
+    iters: (u32, u32),
+    grad_bytes: u64,
+    compute_ps: u64,
+    rng: &mut StdRng,
+) -> Vec<JobSpec> {
+    let mut t = 0u64;
+    let mut jobs = Vec::with_capacity(n);
+    for id in 0..n as u32 {
+        t += exponential_ps(mean_interarrival_ps, rng);
+        let s = dist.sample(rng);
+        let (u, v) = dist.shape(s, rng);
+        let iters = rng.random_range(iters.0..iters.1.max(iters.0 + 1));
+        jobs.push(JobSpec {
+            id,
+            u,
+            v,
+            arrival_ps: t,
+            iters,
+            grad_bytes,
+            compute_ps,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_ordered_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = JobSizeDistribution::for_cluster(64);
+        let jobs = sample_jobs(50, 1_000_000, &dist, (5, 20), 1 << 20, 1_000, &mut rng);
+        assert_eq!(jobs.len(), 50);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival_ps <= w[1].arrival_ps);
+            assert_eq!(w[0].id + 1, w[1].id);
+        }
+        for j in &jobs {
+            assert!(j.u >= 1 && j.v >= 1 && j.boards() <= 64);
+            assert!((5..20).contains(&j.iters));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = 1_000_000u64;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| exponential_ps(mean, &mut rng)).sum();
+        let got = sum as f64 / n as f64;
+        assert!(
+            (got / mean as f64 - 1.0).abs() < 0.05,
+            "sample mean {got} vs {mean}"
+        );
+    }
+}

@@ -437,6 +437,31 @@ pub fn ring_allgather(p: usize, n: usize) -> Schedule {
     s
 }
 
+/// Per-job schedule instantiation for the cluster simulator: the gradient
+/// allreduce one training iteration of a placed job runs, over the job's
+/// `rows x cols` accelerator grid (ranks row-major over the grid, exactly
+/// the layout `hxcluster` maps onto the virtual sub-HxMesh).
+///
+/// Algorithm selection follows the shape: grids with both dimensions ≥ 2
+/// use the four-port disjoint-rings algorithm (with its built-in
+/// single-cycle and linear-order fallbacks for infeasible dimensions);
+/// strips (`1 x n` / `n x 1`) use the bidirectional ring, which is what
+/// their two usable line directions support; a single rank degenerates to
+/// an empty schedule (nothing to reduce). `elems` is raised to `4 * p`
+/// when smaller, so every pipelined chunk is non-empty.
+pub fn job_allreduce(rows: usize, cols: usize, elems: usize) -> Schedule {
+    let p = rows * cols;
+    if p <= 1 {
+        return Schedule::new(p.max(1), elems.max(1));
+    }
+    let elems = elems.max(4 * p);
+    if rows == 1 || cols == 1 {
+        bidirectional_ring_allreduce(p, elems)
+    } else {
+        disjoint_rings_allreduce(rows, cols, elems).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +540,30 @@ mod tests {
         let res = execute(&s, &inputs).unwrap();
         for r in 0..p {
             assert_eq!(res.data[r], inputs[2], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn job_allreduce_is_correct_for_every_job_shape() {
+        // Every shape the allocator can hand the cluster simulator must
+        // produce a numerically correct allreduce: square grids, skewed
+        // grids, infeasible-ring grids (odd x odd), strips, and the
+        // degenerate single rank.
+        for (rows, cols) in [
+            (1, 1),
+            (1, 2),
+            (1, 6),
+            (4, 1),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+            (4, 2),
+            (6, 4),
+            (5, 3),
+        ] {
+            let s = job_allreduce(rows, cols, 8);
+            assert_eq!(s.nranks, (rows * cols).max(1));
+            check_allreduce(&s).unwrap_or_else(|e| panic!("{rows}x{cols}: {e}"));
         }
     }
 

@@ -112,6 +112,39 @@ pub struct Node {
     pub ports: Vec<Link>,
 }
 
+/// Content identity of a failure *set*: the number of failed full-duplex
+/// links plus an order-independent fingerprint of which ones they are.
+///
+/// Unlike [`Topology::failure_epoch`] — a monotone counter that never
+/// repeats — the set id returns to a previous value when the failure set
+/// does: a fail → restore → fail cycle on the same cable yields the same
+/// id as the first failure. Failure-aware routing caches key on this, so
+/// the cluster simulator's fail/repair churn (which toggles the same few
+/// cables over days of simulated time) reuses BFS state instead of
+/// recomputing it every epoch, while any *different* set — including the
+/// empty one — changes the id and invalidates the cache.
+///
+/// The fingerprint XORs a splitmix64-mixed hash of each failed cable's
+/// canonical end; XOR is commutative and self-inverse, so it is maintained
+/// in O(1) per transition. Two distinct sets of equal size collide only if
+/// their mixed hashes XOR equal — vanishingly unlikely and not achievable
+/// by the simulators' random sweeps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FailureSetId {
+    /// Number of failed full-duplex links.
+    pub count: u32,
+    /// XOR of the per-cable mixed hashes.
+    pub fingerprint: u64,
+}
+
+/// splitmix64 finalizer: the cable-id mixer behind [`FailureSetId`].
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// The port-level multigraph.
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
@@ -122,6 +155,9 @@ pub struct Topology {
     /// [`Topology::restore_link`], so failure-aware routing tables can
     /// invalidate their caches without scanning the graph.
     failure_epoch: u64,
+    /// XOR-accumulated fingerprint of the current failure set (see
+    /// [`FailureSetId`]); updated in O(1) alongside `failed_links`.
+    failure_fingerprint: u64,
 }
 
 impl Topology {
@@ -208,7 +244,16 @@ impl Topology {
         self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = true;
         self.failed_links += 1;
         self.failure_epoch += 1;
+        self.failure_fingerprint ^= Self::cable_hash(node, port, peer);
         true
+    }
+
+    /// Order-independent hash of one full-duplex cable, computed from its
+    /// canonical (lexicographically smaller) end so both directions agree.
+    fn cable_hash(node: NodeId, port: PortId, peer: PortRef) -> u64 {
+        let a = ((node.0 as u64) << 16) | port.0 as u64;
+        let b = ((peer.node.0 as u64) << 16) | peer.port.0 as u64;
+        mix64(a.min(b))
     }
 
     /// Undo [`Topology::fail_link`] (repair), in both directions.
@@ -223,6 +268,7 @@ impl Topology {
         self.nodes[peer.node.idx()].ports[peer.port.idx()].failed = false;
         self.failed_links -= 1;
         self.failure_epoch += 1;
+        self.failure_fingerprint ^= Self::cable_hash(node, port, peer);
         true
     }
 
@@ -233,12 +279,24 @@ impl Topology {
         self.failed_links > 0
     }
 
-    /// Monotone counter bumped by every effective fail/restore. Cached
-    /// failure-aware routing state (see `route::FailoverTable`) is keyed
-    /// on this value.
+    /// Monotone counter bumped by every effective fail/restore. Useful
+    /// for detecting *that* the failure set moved; cached failure-aware
+    /// routing state keys on [`Topology::failure_set_id`] instead, which
+    /// additionally recognizes a set it has seen before.
     #[inline]
     pub fn failure_epoch(&self) -> u64 {
         self.failure_epoch
+    }
+
+    /// Content identity of the current failure set (see [`FailureSetId`]).
+    /// Equal ids ⇔ (up to fingerprint collision) equal sets, regardless of
+    /// the fail/restore order that produced them.
+    #[inline]
+    pub fn failure_set_id(&self) -> FailureSetId {
+        FailureSetId {
+            count: self.failed_links as u32,
+            fingerprint: self.failure_fingerprint,
+        }
     }
 
     /// Whether the directed link out of `(node, port)` is failed.
@@ -560,6 +618,42 @@ mod tests {
         assert_eq!(t.count_failed_links(), 0);
         assert!(!t.has_failures());
         assert_eq!(t.failure_epoch(), 2);
+    }
+
+    #[test]
+    fn failure_set_id_tracks_content_not_history() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        let c = t.add_switch(0, 0, 2);
+        let (pab, pba) = t.connect(a, b, spec());
+        let (pbc, _) = t.connect(b, c, spec());
+        let healthy = t.failure_set_id();
+        assert_eq!(healthy, FailureSetId::default());
+
+        // The id is direction-independent and returns to its previous
+        // value across a fail -> restore -> fail cycle on the same cable.
+        t.fail_link(a, pab);
+        let first = t.failure_set_id();
+        assert_ne!(first, healthy);
+        t.restore_link(b, pba);
+        assert_eq!(t.failure_set_id(), healthy);
+        t.fail_link(b, pba);
+        assert_eq!(t.failure_set_id(), first);
+
+        // A different single-cable set has a different id; equal-size
+        // sets built in different orders agree.
+        t.restore_link(a, pab);
+        t.fail_link(b, pbc);
+        let other = t.failure_set_id();
+        assert_ne!(other, first);
+        t.fail_link(a, pab);
+        let both = t.failure_set_id();
+        t.restore_link(a, pab);
+        t.restore_link(b, pbc);
+        t.fail_link(a, pab);
+        t.fail_link(b, pbc);
+        assert_eq!(t.failure_set_id(), both);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod route;
 pub mod torus;
 
 pub use graph::{
-    Cable, Link, LinkSpec, Network, Node, NodeId, NodeKind, PortId, PortRef, Topology,
+    Cable, FailureSetId, Link, LinkSpec, Network, Node, NodeId, NodeKind, PortId, PortRef, Topology,
 };
 pub use route::Router;
 

@@ -114,9 +114,12 @@ pub trait Router: Send + Sync {
 ///    which per the [`Router`] contract means "unreachable".
 ///
 /// Distances are healthy-graph BFS trees rooted at each requested target,
-/// computed lazily and memoized per [`Topology::failure_epoch`] — a
-/// fail/restore invalidates the whole cache. With no failures present the
-/// router never calls in here, so pristine-network routing (and its
+/// computed lazily and memoized per [`Topology::failure_set_id`]: the
+/// cache is invalidated whenever the failure *set* changes, and — because
+/// the id is content-based, not a monotone epoch — it is *retained* when
+/// the set returns to the cached one, as in the cluster simulator's
+/// fail → restore → fail churn on the same cable. With no failures present
+/// the router never calls in here, so pristine-network routing (and its
 /// performance) is bit-identical to the failure-blind code.
 ///
 /// The trade-off is fidelity, not correctness: while any failure exists,
@@ -133,7 +136,8 @@ pub struct FailoverTable {
 
 #[derive(Debug, Default)]
 struct FailoverCache {
-    epoch: u64,
+    /// Failure set the cached distances were computed under.
+    set: crate::graph::FailureSetId,
     /// Per target: failure-aware BFS distance from every node to it.
     dist: HashMap<NodeId, Vec<u32>>,
 }
@@ -144,11 +148,13 @@ impl FailoverTable {
     }
 
     /// Run `f` with the failure-aware distance vector toward `target`
-    /// (recomputing the cache if the failure epoch moved).
+    /// (recomputing the cache if the failure set changed since it was
+    /// filled — a set the cache already holds is served as-is, however
+    /// many fail/restore transitions happened in between).
     fn with_dist<R>(&self, topo: &Topology, target: NodeId, f: impl FnOnce(&[u32]) -> R) -> R {
         let mut cache = self.cache.lock().unwrap();
-        if cache.epoch != topo.failure_epoch() {
-            cache.epoch = topo.failure_epoch();
+        if cache.set != topo.failure_set_id() {
+            cache.set = topo.failure_set_id();
             cache.dist.clear();
         }
         let dist = cache
@@ -562,5 +568,55 @@ mod tests {
         t.restore_link(l0, l0a);
         t.restore_link(l0, l0b);
         assert_eq!(cands(&t, l0).len(), 2);
+    }
+
+    /// The content-keyed failover cache must never serve one failure set's
+    /// distances for another: failing cable A, repairing it, and failing
+    /// cable B instead has to route around B (not A), and the cycle
+    /// A -> repair -> A again must reproduce the first failure's routes
+    /// exactly (the satellite regression for `restore_link` interaction
+    /// with cached failover state).
+    #[test]
+    fn failover_cache_is_keyed_on_the_failure_set() {
+        let mut t = Topology::new();
+        let e0 = t.add_accelerator(0);
+        let e1 = t.add_accelerator(1);
+        let l0 = t.add_switch(0, 0, 0);
+        let l1 = t.add_switch(0, 0, 1);
+        let ra = t.add_switch(1, 0, 0);
+        let rb = t.add_switch(1, 0, 1);
+        t.connect(e0, l0, spec());
+        t.connect(e1, l1, spec());
+        let (l0a, _) = t.connect(l0, ra, spec());
+        t.connect(l1, ra, spec());
+        let (l0b, _) = t.connect(l0, rb, spec());
+        t.connect(l1, rb, spec());
+        let r = ShortestPathRouter::build(&t, &[e0, e1]);
+        let cands = |t: &Topology| {
+            let mut out = Vec::new();
+            r.candidates(t, l0, 0, e1, &mut out);
+            out
+        };
+
+        t.fail_link(l0, l0a);
+        let around_a = cands(&t);
+        assert_eq!(around_a.len(), 1);
+        assert_eq!(around_a[0].port, l0b);
+
+        // Same-size, different set: the cache must recompute, not replay A.
+        t.restore_link(l0, l0a);
+        t.fail_link(l0, l0b);
+        let around_b = cands(&t);
+        assert_eq!(around_b.len(), 1);
+        assert_eq!(around_b[0].port, l0a);
+
+        // fail -> restore -> fail on the same cable: identical routes to
+        // the first failure (served from the retained cache entry).
+        t.restore_link(l0, l0b);
+        t.fail_link(l0, l0b);
+        assert_eq!(cands(&t), around_b);
+        t.restore_link(l0, l0b);
+        t.fail_link(l0, l0a);
+        assert_eq!(cands(&t), around_a);
     }
 }

@@ -56,4 +56,18 @@ impl SimStats {
     pub fn clean(&self) -> bool {
         !self.timed_out && self.undelivered_messages == 0
     }
+
+    /// Mean utilization of the network's directed links over the run:
+    /// busy link-picoseconds divided by `2 * num_links` (each full-duplex
+    /// link is two directed channels) times the run length. Both engines
+    /// account `total_link_busy_ps` exactly (every byte a link carries
+    /// contributes its serialization time), so this is comparable across
+    /// backends. `hxcluster` weights it by job runtime for its
+    /// cluster-wide link-utilization metric.
+    pub fn mean_link_utilization(&self, num_links: usize) -> f64 {
+        if self.finish_ps == 0 || num_links == 0 {
+            return 0.0;
+        }
+        self.total_link_busy_ps as f64 / (2.0 * num_links as f64 * self.finish_ps as f64)
+    }
 }

@@ -138,3 +138,20 @@ fn stats_bandwidth_helpers() {
     let per_rank = stats.rank_recv_bytes_per_ps();
     assert!(per_rank[1] > 0.0);
 }
+
+#[test]
+fn mean_link_utilization_is_sane_on_both_engines() {
+    // One saturating pair through a single switch: its two cables should
+    // be busy a large share of the run, the idle ones not at all — the
+    // mean over all directed links lands strictly inside (0, 1].
+    let net = single_switch(4, "quad");
+    let links = net.topo.num_links();
+    for kind in crate::EngineKind::all() {
+        let mut app = MessageBlast::pairs(vec![(0, 1, 4 << 20)]);
+        let stats = crate::simulate(&net, SimConfig::default(), kind, &mut app);
+        assert!(stats.clean(), "{kind}: {stats:?}");
+        let u = stats.mean_link_utilization(links);
+        assert!(u > 0.05 && u <= 1.0, "{kind}: utilization {u}");
+        assert_eq!(stats.mean_link_utilization(0), 0.0);
+    }
+}

@@ -422,6 +422,101 @@ fn restore_link_brings_the_original_route_back() {
     }
 }
 
+/// Regression for `restore_link` against cached failover state: a
+/// fail -> restore -> fail cycle on the *same* cable must produce
+/// candidate sets identical to the first failure at every hop, on every
+/// topology. The failover cache is keyed on the failure-set id (content,
+/// not epoch), so the second failure is typically served from the cached
+/// BFS of the first — this test pins that the reuse is not stale: the
+/// interleaved healthy and failed queries may not bleed into each other.
+#[test]
+fn refail_same_cable_reproduces_first_failure_routes() {
+    let nets: Vec<Network> = vec![
+        FatTreeParams::scaled_nonblocking(16, 8).build(),
+        DragonflyParams {
+            a: 4,
+            p: 2,
+            h: 2,
+            groups: 4,
+        }
+        .build(),
+        HyperXParams {
+            x: 4,
+            y: 4,
+            radix: 64,
+        }
+        .build(),
+        TorusParams {
+            cols: 4,
+            rows: 4,
+            board: 2,
+        }
+        .build(),
+        HxMeshParams::square(2, 3).build(),
+    ];
+    for mut net in nets {
+        let (src, dst) = (net.endpoints[0], *net.endpoints.last().unwrap());
+        // Walk first candidates to the destination, recording the FULL
+        // candidate set at every hop — any stale cache entry shows up as
+        // a changed set somewhere along the walk.
+        let walk_sets = |net: &Network| -> Vec<Vec<(PortId, u8)>> {
+            let mut sets = Vec::new();
+            let (mut node, mut vc) = (src, 0u8);
+            while node != dst {
+                let mut cand = Vec::new();
+                net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+                assert!(!cand.is_empty(), "{}: stuck at {node:?}", net.name);
+                sets.push(cand.iter().map(|h| (h.port, h.vc)).collect());
+                vc = cand[0].vc;
+                node = net.topo.peer(node, cand[0].port).node;
+                assert!(sets.len() < 64, "{}: route too long", net.name);
+            }
+            sets
+        };
+        let pristine = walk_sets(&net);
+        // First redundant non-PCB cable along the first-candidate walk
+        // (same selection as restore_link_brings_the_original_route_back).
+        let mut pick = None;
+        let (mut node, mut vc) = (src, 0u8);
+        while node != dst && pick.is_none() {
+            let mut cand = Vec::new();
+            net.router.candidates(&net.topo, node, vc, dst, &mut cand);
+            let hop = cand[0];
+            if net.topo.link(node, hop.port).spec.cable != Cable::Pcb {
+                net.topo.fail_link(node, hop.port);
+                let ok = net.topo.bfs_hops_healthy(src)[dst.idx()] != u32::MAX;
+                net.topo.restore_link(node, hop.port);
+                if ok {
+                    pick = Some((node, hop.port));
+                }
+            }
+            vc = hop.vc;
+            node = net.topo.peer(node, hop.port).node;
+        }
+        let (n, p) = pick.unwrap_or_else(|| panic!("{}: no redundant cable", net.name));
+
+        net.topo.fail_link(n, p);
+        let first_failure = walk_sets(&net);
+        net.topo.restore_link(n, p);
+        assert_eq!(
+            pristine,
+            walk_sets(&net),
+            "{}: restore did not bring pristine candidate sets back",
+            net.name
+        );
+        net.topo.fail_link(n, p);
+        assert_eq!(
+            first_failure,
+            walk_sets(&net),
+            "{}: refailing the same cable diverged from the first failure",
+            net.name
+        );
+        // And a second restore closes the cycle.
+        net.topo.restore_link(n, p);
+        assert_eq!(pristine, walk_sets(&net), "{}: second repair", net.name);
+    }
+}
+
 /// End-to-end repair determinism on a baseline topology (mirrors the
 /// HxMesh test above): fail -> still clean (the nonblocking tree has the
 /// spare capacity to absorb one dead up link, so timing may not even
