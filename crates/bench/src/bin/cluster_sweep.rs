@@ -16,7 +16,8 @@
 use hammingmesh::hxalloc::workload::JobSizeDistribution;
 use hammingmesh::hxcluster::{ClusterConfig, ClusterReport, ClusterSim};
 use hammingmesh::hxnet::hammingmesh::HxMeshParams;
-use hxbench::{header, timed, HarnessArgs};
+use hxbench::{header, HarnessArgs};
+use rayon::prelude::*;
 
 const MS: u64 = 1_000_000_000;
 
@@ -53,24 +54,35 @@ fn main() {
         "defrag"
     );
 
+    // The load points are independent simulations: run them on the
+    // thread pool, then emit every load level's rows strictly in load
+    // order — per-load output is buffered so per-job rows and summaries
+    // never interleave across loads, whatever the completion order.
+    let reports: Vec<(&str, ClusterReport, f64)> = loads
+        .par_iter()
+        .map(|&(label, gap)| {
+            let cfg = ClusterConfig {
+                mesh: mesh.clone(),
+                num_jobs,
+                mean_interarrival_ps: gap,
+                size_dist: JobSizeDistribution {
+                    max_boards: boards / 2,
+                    ..JobSizeDistribution::for_cluster(boards)
+                },
+                engine,
+                seed: args.seed,
+                ..ClusterConfig::quick()
+            };
+            let t0 = std::time::Instant::now();
+            let report = ClusterSim::new(cfg).run();
+            (label, report, t0.elapsed().as_secs_f64())
+        })
+        .collect();
+
     let mut csv = String::from(ClusterReport::csv_header());
     csv.push('\n');
-    for &(label, gap) in loads {
-        let cfg = ClusterConfig {
-            mesh: mesh.clone(),
-            num_jobs,
-            mean_interarrival_ps: gap,
-            size_dist: JobSizeDistribution {
-                max_boards: boards / 2,
-                ..JobSizeDistribution::for_cluster(boards)
-            },
-            engine,
-            seed: args.seed,
-            ..ClusterConfig::quick()
-        };
-        let report = timed(&format!("cluster_sweep {label}"), || {
-            ClusterSim::new(cfg).run()
-        });
+    for (label, report, wall_s) in &reports {
+        eprintln!("[cluster_sweep {label}] {wall_s:.2}s");
         println!(
             "{:<8} {:>8.1}ms {:>8.2}ms {:>8.2}ms {:>8.3} {:>8.3} {:>9.4} {:>6} {:>7} {:>7}",
             label,

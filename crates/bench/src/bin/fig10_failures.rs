@@ -17,6 +17,7 @@ use hammingmesh::prelude::*;
 use hxbench::{header, timed, HarnessArgs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::fmt::Write as _;
 
 fn main() {
@@ -107,18 +108,49 @@ fn routed_mode(args: &HarnessArgs) {
          {n} endpoints, {}/pair, {traces} draws",
         hxbench::fmt_bytes(bytes)
     ));
+    // Every (topology, failures, engine, draw) cell is an independent
+    // simulation: each builds its own network and failure set (seeded per
+    // draw, so the sets are identical at any thread count) and the whole
+    // grid runs on the thread pool. Results come back in grid order, so
+    // the printed table and the CSV are byte-identical to a sequential
+    // run.
+    let mut cells: Vec<(TopologyChoice, usize, EngineKind, usize)> = Vec::new();
+    for &choice in &topologies {
+        for &f in sweep {
+            for &engine in &engines {
+                for t in 0..traces {
+                    cells.push((choice, f, engine, t));
+                }
+            }
+        }
+    }
+    let seed = args.seed;
+    let results: Vec<(f64, u64, bool)> = cells
+        .par_iter()
+        .map(|&(choice, f, engine, t)| {
+            let mut net = choice.build_scaled(n);
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let got = net.fail_random_cables(f, &mut rng);
+            assert_eq!(got, f, "{}: could only fail {got}/{f} cables", net.name);
+            let m = experiments::alltoall_bandwidth_on(&net, bytes, window, engine);
+            assert!(
+                m.clean,
+                "{} with {f} failed cables did not deliver all traffic ({engine})",
+                net.name
+            );
+            (m.bw_fraction, m.time_ps, m.clean)
+        })
+        .collect();
+
     let mut csv = String::from("topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean\n");
+    let mut cell = 0usize;
     for choice in topologies {
-        // One network per topology; each draw injects its failure set and
-        // repairs it afterwards (fail_link/restore_link round-trips are
-        // exact, see tests/fault_injection.rs), so nothing is rebuilt.
-        let mut net = choice.build_scaled(n);
-        let cables = net.topo.cables();
+        let probe = choice.build_scaled(n);
         println!(
             "\n{} ({} endpoints, {} cables):",
-            net.name,
-            net.endpoints.len(),
-            cables.len()
+            probe.name,
+            probe.endpoints.len(),
+            probe.topo.cables().len()
         );
         print!("{:>8}", "failed");
         for e in &engines {
@@ -130,30 +162,16 @@ fn routed_mode(args: &HarnessArgs) {
             for &engine in &engines {
                 let mut sum = 0.0;
                 for t in 0..traces {
-                    let mut rng = StdRng::seed_from_u64(
-                        args.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                    );
-                    let got = net.fail_random_cables(f, &mut rng);
-                    assert_eq!(got, f, "{}: could only fail {got}/{f} cables", net.name);
-                    let m = timed(&format!("{} f={f} t={t} {engine}", net.name), || {
-                        experiments::alltoall_bandwidth_on(&net, bytes, window, engine)
-                    });
-                    assert!(
-                        m.clean,
-                        "{} with {f} failed cables did not deliver all traffic ({engine})",
-                        net.name
-                    );
-                    sum += m.bw_fraction;
+                    debug_assert_eq!(cells[cell], (choice, f, engine, t));
+                    let (bw_fraction, time_ps, clean) = results[cell];
+                    cell += 1;
+                    sum += bw_fraction;
                     writeln!(
                         csv,
-                        "{},{engine},{f},{t},{:.4},{},{}",
-                        net.name, m.bw_fraction, m.time_ps, m.clean
+                        "{},{engine},{f},{t},{bw_fraction:.4},{time_ps},{clean}",
+                        probe.name
                     )
                     .unwrap();
-                    for &(cn, cp) in &cables {
-                        net.topo.restore_link(cn, cp);
-                    }
-                    assert_eq!(net.topo.count_failed_links(), 0);
                 }
                 means.push(sum / traces as f64);
             }

@@ -3,6 +3,7 @@
 
 use hammingmesh::prelude::*;
 use hxbench::{fmt_bytes, header, timed, HarnessArgs};
+use rayon::prelude::*;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -28,17 +29,31 @@ fn main() {
         print!(" {:>10}", fmt_bytes(s));
     }
     println!();
-    for choice in TopologyChoice::all() {
-        let net = if args.full {
-            choice.build_small()
-        } else {
-            choice.build_scaled(n)
-        };
+    // The full (topology x size) grid of independent simulations runs on
+    // the thread pool; cells come back in grid order, so the table is
+    // identical at any thread count.
+    let nets: Vec<Network> = TopologyChoice::all()
+        .into_iter()
+        .map(|choice| {
+            if args.full {
+                choice.build_small()
+            } else {
+                choice.build_scaled(n)
+            }
+        })
+        .collect();
+    let grid: Vec<(usize, u64)> = (0..nets.len())
+        .flat_map(|ni| sizes.iter().map(move |&s| (ni, s)))
+        .collect();
+    let cells: Vec<Measurement> = timed("fig11 grid", || {
+        grid.par_iter()
+            .map(|&(ni, s)| experiments::alltoall_bandwidth_on(&nets[ni], s, 2, engine))
+            .collect()
+    });
+    for (ni, choice) in TopologyChoice::all().into_iter().enumerate() {
         print!("{:<24}", choice.name());
-        for &s in sizes {
-            let m = timed(&format!("{} {}", choice.name(), fmt_bytes(s)), || {
-                experiments::alltoall_bandwidth_on(&net, s, 2, engine)
-            });
+        for (si, _) in sizes.iter().enumerate() {
+            let m = &cells[ni * sizes.len() + si];
             print!(
                 " {:>9.1}%{}",
                 m.bw_fraction * 100.0,

@@ -4,6 +4,7 @@
 
 use hammingmesh::prelude::*;
 use hxbench::{header, timed, HarnessArgs};
+use rayon::prelude::*;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -27,15 +28,23 @@ fn main() {
     );
     let costs = hammingmesh::hxcost::table2_entries(ClusterSize::Small);
     let mut ft_cost_per_bw = None;
-    for (i, choice) in TopologyChoice::all().into_iter().enumerate() {
-        let net = if args.full {
-            choice.build_small()
-        } else {
-            choice.build_scaled(n)
-        };
-        let mut bw = timed(choice.name(), || {
-            experiments::permutation_bandwidths_on(&net, bytes, 2, args.seed, engine)
-        });
+    // One independent permutation run per topology: the whole row set
+    // runs on the thread pool, results in topology order.
+    let seed = args.seed;
+    let rows: Vec<Vec<f64>> = timed("fig12 permutations", || {
+        TopologyChoice::all()
+            .into_par_iter()
+            .map(|choice| {
+                let net = if args.full {
+                    choice.build_small()
+                } else {
+                    choice.build_scaled(n)
+                };
+                experiments::permutation_bandwidths_on(&net, bytes, 2, seed, engine)
+            })
+            .collect()
+    });
+    for ((i, choice), mut bw) in TopologyChoice::all().into_iter().enumerate().zip(rows) {
         bw.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mean = bw.iter().sum::<f64>() / bw.len() as f64;
         let cost_per_bw = costs[i].cost_musd() / mean.max(1e-9);

@@ -5,6 +5,7 @@
 
 use hammingmesh::prelude::*;
 use hxbench::{fmt_bytes, header, timed, HarnessArgs};
+use rayon::prelude::*;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -22,25 +23,46 @@ fn main() {
     header(&format!(
         "Fig. 13/17 — allreduce bandwidth (share of peak), {n} endpoints, {engine} engine"
     ));
-    for algo in [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D] {
+    // The (algorithm x topology x size) grid runs on the thread pool;
+    // cells return in grid order, so the tables are identical at any
+    // thread count.
+    let algos = [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D];
+    let nets: Vec<Network> = TopologyChoice::all()
+        .into_iter()
+        .map(|choice| {
+            if args.full {
+                choice.build_small()
+            } else {
+                choice.build_scaled(n)
+            }
+        })
+        .collect();
+    let grid: Vec<(AllreduceAlgo, usize, u64)> = algos
+        .iter()
+        .flat_map(|&algo| {
+            (0..nets.len()).flat_map(move |ni| sizes.iter().map(move |&s| (algo, ni, s)))
+        })
+        .collect();
+    let cells: Vec<Measurement> = timed("fig13 grid", || {
+        grid.par_iter()
+            .map(|&(algo, ni, s)| experiments::allreduce_bandwidth_on(&nets[ni], algo, s, engine))
+            .collect()
+    });
+    let mut cell = 0usize;
+    for algo in algos {
         println!("\nalgorithm: {algo:?}");
         print!("{:<24}", "topology");
         for &s in sizes {
             print!(" {:>10}", fmt_bytes(s));
         }
         println!();
-        for choice in TopologyChoice::all() {
-            let net = if args.full {
-                choice.build_small()
-            } else {
-                choice.build_scaled(n)
-            };
+        for (ni, choice) in TopologyChoice::all().into_iter().enumerate() {
             print!("{:<24}", choice.name());
             for &s in sizes {
-                let m = timed(
-                    &format!("{} {:?} {}", choice.name(), algo, fmt_bytes(s)),
-                    || experiments::allreduce_bandwidth_on(&net, algo, s, engine),
-                );
+                // The print loops must mirror the grid construction order.
+                debug_assert_eq!(grid[cell], (algo, ni, s));
+                let m = &cells[cell];
+                cell += 1;
                 print!(
                     " {:>9.1}%{}",
                     m.bw_fraction * 100.0,

@@ -11,6 +11,7 @@
 
 use hammingmesh::prelude::*;
 use hxbench::{fmt_bytes, header, timed, HarnessArgs};
+use rayon::prelude::*;
 use std::fmt::Write as _;
 
 fn main() {
@@ -29,26 +30,57 @@ fn main() {
         "Fig. 14 — allreduce bandwidth vs cluster size, {} per rank, {engine} engine",
         fmt_bytes(bytes)
     ));
+    // Build each (topology, cluster-size) network once, then run the
+    // (algorithm x topology x size) grid on the thread pool. Cells come
+    // back in grid order, so table and CSV are identical at any thread
+    // count.
+    let algos = [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D];
+    let nets: Vec<Vec<Network>> = TopologyChoice::all()
+        .into_iter()
+        .map(|choice| {
+            sizes
+                .iter()
+                .map(|&n| {
+                    if n >= 1024 {
+                        choice.build_small()
+                    } else {
+                        choice.build_scaled(n)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let grid: Vec<(AllreduceAlgo, usize, usize)> = algos
+        .iter()
+        .flat_map(|&algo| {
+            (0..nets.len()).flat_map(move |ci| (0..sizes.len()).map(move |si| (algo, ci, si)))
+        })
+        .collect();
+    let cells: Vec<Measurement> = timed("fig14 grid", || {
+        grid.par_iter()
+            .map(|&(algo, ci, si)| {
+                experiments::allreduce_bandwidth_on(&nets[ci][si], algo, bytes, engine)
+            })
+            .collect()
+    });
+
     let mut csv =
         String::from("algorithm,topology,engine,endpoints,bytes,bw_fraction,sim_ps,clean\n");
-    for algo in [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D] {
+    let mut cell = 0usize;
+    for algo in algos {
         println!("\nalgorithm: {algo:?}");
         print!("{:<24}", "topology");
         for &n in sizes {
             print!(" {:>10}", format!("{n} accels"));
         }
         println!();
-        for choice in TopologyChoice::all() {
+        for (ci, choice) in TopologyChoice::all().into_iter().enumerate() {
             print!("{:<24}", choice.name());
-            for &n in sizes {
-                let net = if n >= 1024 {
-                    choice.build_small()
-                } else {
-                    choice.build_scaled(n)
-                };
-                let m = timed(&format!("{} {:?} n={n}", choice.name(), algo), || {
-                    experiments::allreduce_bandwidth_on(&net, algo, bytes, engine)
-                });
+            for si in 0..sizes.len() {
+                // The print loops must mirror the grid construction order.
+                debug_assert_eq!(grid[cell], (algo, ci, si));
+                let m = &cells[cell];
+                cell += 1;
                 print!(
                     " {:>9.1}%{}",
                     m.bw_fraction * 100.0,
@@ -58,7 +90,7 @@ fn main() {
                     csv,
                     "{algo:?},{},{engine},{},{bytes},{:.4},{},{}",
                     choice.name(),
-                    net.num_ranks(),
+                    nets[ci][si].num_ranks(),
                     m.bw_fraction,
                     m.time_ps,
                     m.clean

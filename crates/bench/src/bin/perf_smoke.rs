@@ -1,17 +1,25 @@
 //! CI perf-smoke harness: runs the Fig. 11 (alltoall) and Fig. 13
 //! (allreduce) headline scenarios at quick scale on **both** simulation
 //! backends, records wall-clock and simulated time to `BENCH_sim.json`,
-//! and emits the figure sweeps as CSV artifacts (flow engine, so the
-//! sweep stays cheap even in CI).
+//! emits the figure sweeps as CSV artifacts (flow engine, so the sweep
+//! stays cheap even in CI), and benchmarks the thread pool: the Fig. 8 /
+//! Fig. 9 Monte-Carlo trace sweeps run once at 1 thread and once at the
+//! environment thread count, and `BENCH_par.json` records the measured
+//! parallel speedup plus a bitwise identical-results check.
 //!
 //! ```sh
 //! perf_smoke --out bench-artifacts
 //! ```
 //!
-//! The JSON doubles as the PR-level perf gate: the recorded
+//! The JSON files double as the PR-level perf gates: `BENCH_sim.json`'s
 //! `wall_speedup` documents how much faster the flow-level fast path is
-//! than the packet engine on the same scenario.
+//! than the packet engine, and `BENCH_par.json`'s `speedup` documents
+//! what multi-core execution buys on the trace sweeps (CI enforces
+//! >= 1.5x when the runner has >= 4 cores).
 
+use hammingmesh::hxalloc::experiments::{
+    fig8_strategies, fig8_utilization, fig9_upper_traffic, Distribution,
+};
 use hammingmesh::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -199,4 +207,107 @@ fn main() {
     let p = out_dir.join("fig13_allreduce.csv");
     std::fs::write(&p, &csv).expect("write fig13 csv");
     eprintln!("[perf_smoke] wrote {}", p.display());
+
+    write_bench_par(&out_dir, quick);
+}
+
+/// Benchmark the thread pool under the rayon shim: the Fig. 8 and Fig. 9
+/// Monte-Carlo trace sweeps — the workloads ISSUE/ROADMAP name as the
+/// parallelization targets — once at `RAYON_NUM_THREADS=1` and once at
+/// the environment thread count, asserting the two runs produce bitwise
+/// identical samples (the pool's index-ordered collection contract) and
+/// recording the wall-clock speedup in `BENCH_par.json`.
+///
+/// The vendored shim re-reads `RAYON_NUM_THREADS` on every parallel call,
+/// which is what lets one process measure both configurations.
+fn write_bench_par(out_dir: &std::path::Path, quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    let threads = rayon::current_num_threads();
+    // Sized so the sequential leg runs a few hundred ms in release: long
+    // enough that the CI speedup gate measures compute, not timer noise
+    // or thread spawn cost, short enough to stay a smoke test.
+    let (fig8_traces, fig9_traces) = if quick { (60, 6) } else { (4000, 200) };
+    let strategies = fig8_strategies();
+    let full_stack = strategies[5];
+    let locality_stack = strategies[3];
+
+    let run_fig8 = || fig8_utilization(16, 16, fig8_traces, full_stack, 0xC0FFEE);
+    let run_fig9 = || fig9_upper_traffic(64, 64, fig9_traces, locality_stack, 0xC0FFEE);
+    let timed = |f: &dyn Fn() -> Vec<Distribution>| {
+        let t0 = Instant::now();
+        let d = f();
+        (d, t0.elapsed().as_secs_f64())
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (d8_seq, w8_seq) = timed(&|| vec![run_fig8()]);
+    let (d9_seq, w9_seq) = timed(&|| {
+        let (a, b) = run_fig9();
+        vec![a, b]
+    });
+    match &saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let (d8_par, w8_par) = timed(&|| vec![run_fig8()]);
+    let (d9_par, w9_par) = timed(&|| {
+        let (a, b) = run_fig9();
+        vec![a, b]
+    });
+
+    let identical = |a: &[Distribution], b: &[Distribution]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.samples.len() == y.samples.len()
+                    && x.samples
+                        .iter()
+                        .zip(&y.samples)
+                        .all(|(p, q)| p.to_bits() == q.to_bits())
+            })
+    };
+    let id8 = identical(&d8_seq, &d8_par);
+    let id9 = identical(&d9_seq, &d9_par);
+    assert!(
+        id8 && id9,
+        "parallel sweep results diverged from sequential (fig8: {id8}, fig9: {id9})"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"generated_by\": \"perf_smoke\",\n");
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    json.push_str("  \"sweeps\": {\n");
+    for (name, traces, seq, par, id, comma) in [
+        ("fig8_utilization", fig8_traces, w8_seq, w8_par, id8, ","),
+        ("fig9_upper_traffic", fig9_traces, w9_seq, w9_par, id9, ""),
+    ] {
+        writeln!(
+            json,
+            "    \"{name}\": {{\"traces\": {traces}, \"wall_s_1thread\": {seq:.4}, \
+             \"wall_s_par\": {par:.4}, \"speedup\": {:.2}, \"identical_results\": {id}}}{comma}",
+            seq / par.max(1e-9)
+        )
+        .unwrap();
+        eprintln!(
+            "[perf_smoke] {name}: {seq:.2}s @1 thread, {par:.2}s @{threads} -> {:.2}x",
+            seq / par.max(1e-9)
+        );
+    }
+    json.push_str("  },\n");
+    // Enforce only when the parallel leg actually ran >= 4 wide: a
+    // RAYON_NUM_THREADS cap below 4 (or a small machine) makes the
+    // speedup unearnable, so the gate must no-op there.
+    writeln!(
+        json,
+        "  \"gate\": {{\"min_speedup\": 1.5, \"enforced\": {}}}",
+        cores >= 4 && threads >= 4
+    )
+    .unwrap();
+    json.push_str("}\n");
+    let path = out_dir.join("BENCH_par.json");
+    std::fs::write(&path, &json).expect("write BENCH_par.json");
+    eprintln!("[perf_smoke] wrote {}", path.display());
 }

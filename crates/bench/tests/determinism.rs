@@ -1,0 +1,112 @@
+//! Thread-count determinism suite for the parallel sweep drivers.
+//!
+//! The vendored rayon thread pool promises **index-ordered collection**:
+//! the results of a parallel sweep are byte-identical to sequential
+//! execution at any thread count. These tests hold the headline drivers
+//! to that promise end to end — each binary runs under
+//! `RAYON_NUM_THREADS=1` and `=4` and the captured stdout (and CSV file,
+//! where the binary writes one) must match byte for byte. Wall-clock
+//! chatter goes to stderr, which is deliberately not compared.
+//!
+//! Panic propagation through the pool (a worker panic must fail the
+//! caller, with every input item dropped exactly once) is pinned by the
+//! shim's own tests in `vendor/rayon`.
+
+use std::process::Command;
+
+/// Run `exe` with `args` under the given thread count; returns (stdout,
+/// CSV contents if `csv_args` requested one).
+fn run(exe: &str, args: &[&str], threads: u32, csv: bool) -> (Vec<u8>, Option<String>) {
+    let csv_path = std::env::temp_dir().join(format!(
+        "hx_det_{}_{threads}_{}.csv",
+        std::process::id(),
+        std::path::Path::new(exe)
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+    ));
+    let mut cmd = Command::new(exe);
+    cmd.args(args).env("RAYON_NUM_THREADS", threads.to_string());
+    if csv {
+        cmd.args(["--csv", csv_path.to_str().unwrap()]);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} with {threads} thread(s) exited with {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let body = csv.then(|| {
+        let b = std::fs::read_to_string(&csv_path).expect("CSV written");
+        std::fs::remove_file(&csv_path).ok();
+        b
+    });
+    (out.stdout, body)
+}
+
+/// Assert a binary produces byte-identical stdout (and CSV) at 1 vs 4
+/// threads.
+fn assert_thread_count_invariant(exe: &str, args: &[&str], csv: bool) {
+    let (out1, csv1) = run(exe, args, 1, csv);
+    let (out4, csv4) = run(exe, args, 4, csv);
+    assert!(
+        out1 == out4,
+        "{exe}: stdout differs between 1 and 4 threads\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+        String::from_utf8_lossy(&out1),
+        String::from_utf8_lossy(&out4),
+    );
+    assert_eq!(csv1, csv4, "{exe}: CSV differs between 1 and 4 threads");
+    // Guard against trivially-empty comparisons.
+    assert!(!out1.is_empty(), "{exe} printed nothing");
+}
+
+/// Fig. 8's Monte-Carlo utilization sweep: the `into_par_iter` trace loop
+/// in `hxalloc::experiments` must aggregate identically at any thread
+/// count (the printed table is all that binary emits on stdout).
+#[test]
+fn fig8_utilization_is_thread_count_invariant() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_fig8_utilization"),
+        &["--traces", "40"],
+        false,
+    );
+}
+
+/// The cluster-lifetime sweep: three load levels simulated in parallel,
+/// with per-load output buffered and emitted in load order — stdout rows
+/// and the per-job/summary CSV must not depend on completion order.
+#[test]
+fn cluster_sweep_is_thread_count_invariant() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_cluster_sweep"),
+        &["--traces", "8", "--seed", "12648430"],
+        true,
+    );
+}
+
+/// The routed cable-failure sweep: every (topology, failures, engine,
+/// draw) cell simulates independently on the pool; the table and the
+/// per-draw CSV reassemble in grid order.
+#[test]
+fn fig10_routed_is_thread_count_invariant() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_fig10_failures"),
+        &["--mode", "routed", "--traces", "2", "--engine", "flow"],
+        true,
+    );
+}
+
+/// The reduction-scaling grid (algorithm x topology; `--traces 1` caps
+/// the sweep at the 64-endpoint cluster size so the debug-profile run
+/// stays a smoke test — the grid indexing under test is identical).
+#[test]
+fn fig14_grid_is_thread_count_invariant() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_fig14_reduction_scaling"),
+        &["--traces", "1"],
+        true,
+    );
+}

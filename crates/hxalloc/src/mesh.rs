@@ -1,6 +1,6 @@
 //! The board mesh, the §IV-A greedy allocator, and its heuristics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 pub type JobId = u32;
 
@@ -71,7 +71,11 @@ pub struct BoardMesh {
     y: usize,
     /// `state[r * x + c]`: None = free, Some(id) = owner job or FAILED.
     state: Vec<Option<JobId>>,
-    placements: HashMap<JobId, Placement>,
+    /// Keyed in a `BTreeMap` so iteration (`placements()`, defrag
+    /// checkpointing, invariant scans, float accumulations over jobs) is
+    /// in job-id order — deterministic across processes and thread
+    /// counts, unlike `HashMap`'s per-instance `RandomState` order.
+    placements: BTreeMap<JobId, Placement>,
     /// Boards per leaf switch along a line (for the locality metric);
     /// 64-port leaves serve 32 line ports = 16 boards.
     leaf_span: usize,
@@ -86,7 +90,7 @@ impl BoardMesh {
             x,
             y,
             state: vec![None; x * y],
-            placements: HashMap::new(),
+            placements: BTreeMap::new(),
             leaf_span: 16,
         }
     }

@@ -143,6 +143,15 @@ pub struct Engine<'n> {
     stats: SimStats,
     /// Scratch buffer for routing candidates.
     cand: Vec<hxnet::route::Hop>,
+    /// Recycled application-command buffer: every delivery/compute event
+    /// used to allocate a fresh `Vec<Cmd>`, which dominated the allocator
+    /// traffic of the hot loop. `apply_cmds` drains it, so it is always
+    /// empty between events.
+    cmd_scratch: Vec<Cmd>,
+    /// Recycled waiter list for `release_buffer`: buffers rotate between
+    /// this scratch and the per-(port, vc) waiter slots instead of being
+    /// freed and reallocated on every credit release.
+    waiter_scratch: Vec<(NodeId, PortId)>,
 }
 
 impl<'n> Engine<'n> {
@@ -185,9 +194,15 @@ impl<'n> Engine<'n> {
             msgs: Vec::new(),
             stats: SimStats {
                 node_forwarded: vec![0; net.topo.num_nodes()],
+                // Pre-size the per-rank receive stats so the delivery path
+                // indexes directly instead of resizing per message.
+                rank_recv_done_ps: vec![0; net.endpoints.len()],
+                rank_recv_bytes: vec![0; net.endpoints.len()],
                 ..SimStats::default()
             },
             cand: Vec::new(),
+            cmd_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
         }
     }
 
@@ -224,12 +239,13 @@ impl<'n> Engine<'n> {
                     release,
                 } => self.on_port_free(node, port, msg, bytes, release, app),
                 Event::Compute(rank, tag) => {
-                    let mut cmds = Vec::new();
+                    let mut cmds = std::mem::take(&mut self.cmd_scratch);
                     {
                         let mut ctx = Ctx::new(self.now, &mut cmds);
                         app.on_compute_done(&mut ctx, rank, tag);
                     }
                     self.apply_cmds(&mut cmds, app);
+                    self.cmd_scratch = cmds;
                 }
             }
         }
@@ -542,12 +558,13 @@ impl<'n> Engine<'n> {
             m.injected_packets += 1;
             if m.injected_packets == m.num_packets {
                 let info = m.info;
-                let mut cmds = Vec::new();
+                let mut cmds = std::mem::take(&mut self.cmd_scratch);
                 {
                     let mut ctx = Ctx::new(self.now, &mut cmds);
                     app.on_send_complete(&mut ctx, info);
                 }
                 self.apply_cmds(&mut cmds, app);
+                self.cmd_scratch = cmds;
             }
         }
         // Output queue space was freed: the local NIC (if any) may inject.
@@ -562,12 +579,20 @@ impl<'n> Engine<'n> {
         let ns = &mut self.nodes[node.idx()];
         debug_assert!(ns.in_occ[slot] >= bytes, "buffer accounting underflow");
         ns.in_occ[slot] -= bytes;
-        let waiters = std::mem::take(&mut ns.waiters[slot]);
+        // Rotate the waiter list through the scratch buffer: the slot gets
+        // the (empty) scratch, we drain the old list, and its capacity
+        // becomes the next scratch — no allocation in steady state. The
+        // swap (rather than iterating in place) is required because
+        // `try_transmit` may push new waiters onto this very slot.
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        debug_assert!(waiters.is_empty());
+        std::mem::swap(&mut waiters, &mut self.nodes[node.idx()].waiters[slot]);
         let vc_bit = 1u8 << (slot % self.num_vcs) as u8;
-        for (wn, wp) in waiters {
+        for (wn, wp) in waiters.drain(..) {
             self.nodes[wn.idx()].out[wp.idx()].stalled_mask &= !vc_bit;
             self.try_transmit(wn, wp);
         }
+        self.waiter_scratch = waiters;
     }
 
     fn on_arrive(&mut self, node: NodeId, port: PortId, pkt: PacketId, app: &mut dyn Application) {
@@ -593,28 +618,16 @@ impl<'n> Engine<'n> {
                 debug_assert_eq!(m.delivered_bytes, m.info.bytes);
                 let info = m.info;
                 self.stats.messages_delivered += 1;
-                self.stats.rank_recv_done_ps.resize(
-                    self.net
-                        .endpoints
-                        .len()
-                        .max(self.stats.rank_recv_done_ps.len()),
-                    0,
-                );
+                // Pre-sized in `new` to one slot per rank.
                 self.stats.rank_recv_done_ps[info.dst_rank as usize] = self.now;
-                self.stats.rank_recv_bytes.resize(
-                    self.net
-                        .endpoints
-                        .len()
-                        .max(self.stats.rank_recv_bytes.len()),
-                    0,
-                );
                 self.stats.rank_recv_bytes[info.dst_rank as usize] += info.bytes;
-                let mut cmds = Vec::new();
+                let mut cmds = std::mem::take(&mut self.cmd_scratch);
                 {
                     let mut ctx = Ctx::new(self.now, &mut cmds);
                     app.on_message(&mut ctx, info);
                 }
                 self.apply_cmds(&mut cmds, app);
+                self.cmd_scratch = cmds;
             }
             return;
         }

@@ -227,6 +227,8 @@ impl<'n> FlowEngine<'n> {
             spare_links: Vec::new(),
             stats: SimStats {
                 node_forwarded: vec![0; net.topo.num_nodes()],
+                rank_recv_done_ps: vec![0; net.endpoints.len()],
+                rank_recv_bytes: vec![0; net.endpoints.len()],
                 ..SimStats::default()
             },
             cand: Vec::new(),
@@ -307,9 +309,17 @@ impl<'n> FlowEngine<'n> {
     /// bytes are credited to the routes, so byte accounting stays exact
     /// and only the completion *instant* moves by < quantum). Fires local
     /// send completion and schedules the latency-delayed delivery.
-    /// Returns true if any flow ended (rates must be recomputed).
+    ///
+    /// Returns true only when the retirements can change some remaining
+    /// flow's rate: a retired flow shared a link with a route that is
+    /// still allocated (`link_nflows` stays positive after its decrement),
+    /// a gated flow was released from a NIC FIFO, or a send-completion
+    /// callback issued new commands. A flow whose links all drop to zero
+    /// subscribers leaves every other flow's constraint set — and hence
+    /// the max-min solution — untouched, so its drain skips the
+    /// progressive-filling recompute entirely.
     fn complete_drained_flows(&mut self, quantum: f64, app: &mut dyn Application) -> bool {
-        let mut any = false;
+        let mut needs_recompute = false;
         let mut cmds = Vec::new();
         let mut i = 0;
         while i < self.active.len() {
@@ -330,7 +340,6 @@ impl<'n> FlowEngine<'n> {
                 }
                 fl.remaining = 0.0;
             }
-            any = true;
             self.active.swap_remove(i);
             // Release the NIC injection FIFOs and let successors through.
             let mut candidates: Vec<FlowId> = Vec::new();
@@ -351,6 +360,7 @@ impl<'n> FlowEngine<'n> {
                 if self.flows[g as usize].gated && self.nic_eligible(g) {
                     self.flows[g as usize].gated = false;
                     self.active.push(g);
+                    needs_recompute = true;
                 }
             }
             let fl = &mut self.flows[f as usize];
@@ -368,6 +378,10 @@ impl<'n> FlowEngine<'n> {
                         (r.carried / self.link_cap[li as usize]).round() as u64;
                     debug_assert!(self.link_nflows[li as usize] > 0);
                     self.link_nflows[li as usize] -= 1;
+                    // Another route still crosses this link: its fair
+                    // share grows now that we left, so rates must be
+                    // refilled.
+                    needs_recompute |= self.link_nflows[li as usize] > 0;
                 }
                 r.links.clear();
                 self.spare_links.push(r.links);
@@ -385,8 +399,9 @@ impl<'n> FlowEngine<'n> {
         }
         if !cmds.is_empty() {
             self.apply_cmds(&mut cmds, app);
+            needs_recompute = true;
         }
-        any
+        needs_recompute
     }
 
     /// Execute all queue events due at the current time, plus any within
@@ -411,14 +426,8 @@ impl<'n> FlowEngine<'n> {
                     let info = m.info;
                     self.stats.messages_delivered += 1;
                     self.stats.bytes_delivered += info.bytes;
-                    let nranks = self.net.endpoints.len();
-                    self.stats
-                        .rank_recv_done_ps
-                        .resize(nranks.max(self.stats.rank_recv_done_ps.len()), 0);
+                    // Pre-sized in `new` to one slot per rank.
                     self.stats.rank_recv_done_ps[info.dst_rank as usize] = now_ps;
-                    self.stats
-                        .rank_recv_bytes
-                        .resize(nranks.max(self.stats.rank_recv_bytes.len()), 0);
                     self.stats.rank_recv_bytes[info.dst_rank as usize] += info.bytes;
                     let mut ctx = Ctx::new(now_ps, &mut cmds);
                     app.on_message(&mut ctx, info);
@@ -669,6 +678,7 @@ impl<'n> FlowEngine<'n> {
         if self.active.is_empty() {
             return;
         }
+        self.stats.rate_recomputes += 1;
         self.rate_gen = self.rate_gen.wrapping_add(1);
         let gen = self.rate_gen;
         self.touched.clear();
@@ -870,6 +880,37 @@ mod tests {
             "flow {} events vs packet {}",
             fstats.events,
             pstats.events
+        );
+    }
+
+    /// Drains of link-disjoint flows skip the max-min recompute: two
+    /// transfers through one switch that share no directed link finish
+    /// with only the initial progressive filling, while the same pair
+    /// aimed at a shared ejection port must refill on the first drain.
+    #[test]
+    fn disjoint_drains_skip_rate_recompute() {
+        let net = single_switch(4, "quad");
+        // 0->1 and 2->3: four distinct directed links, no sharing. The
+        // second transfer is larger so the drains are staggered.
+        let mut app = MessageBlast::pairs(vec![(0, 1, 1 << 20), (2, 3, 3 << 20)]);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(
+            stats.rate_recomputes, 1,
+            "disjoint retirements must not refill (events {})",
+            stats.events
+        );
+
+        // Same sizes, but both flows eject at rank 3: the shared ejection
+        // link makes the first drain free capacity for the survivor, which
+        // must be refilled.
+        let mut app = MessageBlast::pairs(vec![(0, 3, 1 << 20), (2, 3, 3 << 20)]);
+        let stats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert!(
+            stats.rate_recomputes >= 2,
+            "shared-bottleneck drain must recompute rates ({} recomputes)",
+            stats.rate_recomputes
         );
     }
 

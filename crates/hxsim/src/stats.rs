@@ -17,6 +17,11 @@ pub struct SimStats {
     pub undelivered_messages: usize,
     /// The run hit `max_time_ps`.
     pub timed_out: bool,
+    /// Flow engine only: number of max-min rate recomputations (progressive
+    /// fillings). Drains of flows that shared no link with any still-active
+    /// flow skip the recompute, so this stays well below `events` on
+    /// low-contention traffic. Always 0 for the packet engine.
+    pub rate_recomputes: u64,
     /// Sum of busy picoseconds over all directed links.
     pub total_link_busy_ps: u64,
     /// Per destination rank: time its last message completed.

@@ -44,6 +44,7 @@
 use hammingmesh::hxsim::apps::MessageBlast;
 use hammingmesh::hxsim::{simulate, EngineKind, SimConfig};
 use hammingmesh::prelude::*;
+use rayon::prelude::*;
 
 /// Assert `flow/packet` lies inside `band` for a scenario's time.
 fn assert_ratio(label: &str, packet_ps: u64, flow_ps: u64, band: (f64, f64)) {
@@ -123,12 +124,17 @@ fn alltoall_small_messages_agree_loosely() {
 
 #[test]
 fn allreduce_schedules_agree() {
+    // Independent (algorithm, engine) cells: run the matrix on the
+    // thread pool (every simulation is deterministic, so the assertions
+    // are thread-count-independent).
     let net = HxMeshParams::square(2, 2).build();
-    for algo in [
+    [
         AllreduceAlgo::Ring,
         AllreduceAlgo::DisjointRings,
         AllreduceAlgo::Torus2D,
-    ] {
+    ]
+    .into_par_iter()
+    .for_each(|algo| {
         let p = experiments::allreduce_bandwidth_on(&net, algo, 4 << 20, EngineKind::Packet);
         let f = experiments::allreduce_bandwidth_on(&net, algo, 4 << 20, EngineKind::Flow);
         assert!(p.clean && f.clean, "{algo:?}");
@@ -138,7 +144,7 @@ fn allreduce_schedules_agree() {
             f.time_ps,
             (0.70, 1.45),
         );
-    }
+    });
 }
 
 #[test]
@@ -261,13 +267,19 @@ fn alltoall_with_failed_cables_agrees() {
             (0.65, 1.25),
         ),
     ];
-    for (label, mut net, failures, bytes, band) in scenarios {
-        assert_eq!(net.fail_spread_cables(failures), failures);
-        let p = experiments::alltoall_bandwidth_on(&net, bytes, 2, EngineKind::Packet);
-        let f = experiments::alltoall_bandwidth_on(&net, bytes, 2, EngineKind::Flow);
-        assert!(p.clean && f.clean, "{label}: unclean run under failures");
-        assert_ratio(label, p.time_ps, f.time_ps, band);
-    }
+    // The five failure scenarios are independent; run them on the thread
+    // pool (networks move into the workers, each simulation is
+    // deterministic). A failed assertion in any worker panics the test
+    // via the pool's panic propagation.
+    scenarios
+        .into_par_iter()
+        .for_each(|(label, mut net, failures, bytes, band)| {
+            assert_eq!(net.fail_spread_cables(failures), failures);
+            let p = experiments::alltoall_bandwidth_on(&net, bytes, 2, EngineKind::Packet);
+            let f = experiments::alltoall_bandwidth_on(&net, bytes, 2, EngineKind::Flow);
+            assert!(p.clean && f.clean, "{label}: unclean run under failures");
+            assert_ratio(label, p.time_ps, f.time_ps, band);
+        });
 }
 
 /// Both engines must agree exactly on *what* is delivered under failures

@@ -1,44 +1,431 @@
-//! Offline API-compatible shim for the subset of `rayon` this workspace
-//! uses (`into_par_iter` + standard iterator adapters). The build
-//! environment has no registry access, so parallel iteration degrades to
-//! sequential `std` iteration — identical results, single-threaded.
-//! Swapping in the real rayon restores parallelism with no call-site
+//! Offline API-compatible implementation of the subset of `rayon` this
+//! workspace uses (`into_par_iter` / `par_iter` + `map` / `for_each` /
+//! `collect` chains). The build environment has no registry access, so
+//! this crate replaces the real rayon — but, unlike the original shim,
+//! it is **genuinely parallel**: each `collect`/`for_each` drives a
+//! `std::thread::scope`-based pool in which workers claim input indices
+//! from an atomic counter and write results into per-index slots, so the
+//! collected output is **byte-identical to sequential execution at any
+//! thread count** (index-ordered, no reduction-order effects).
+//!
+//! Differences from the real rayon, all intentional:
+//!
+//! * No global pool: threads are scoped to one parallel call. Sweeps in
+//!   this workspace are coarse (milliseconds per item), so per-call spawn
+//!   cost is noise, and scoped threads let borrowed captures (`&Network`
+//!   etc.) cross into workers without `'static` bounds.
+//! * `RAYON_NUM_THREADS` is re-read on every parallel call instead of
+//!   once at global-pool init. `perf_smoke` exploits this to measure the
+//!   1-thread vs N-thread wall clock in a single process.
+//! * A worker panic poisons the queue (other workers stop claiming new
+//!   items) and the panic is propagated to the caller by scope join, like
+//!   rayon. Results already computed are leaked on that path — never
+//!   double-dropped.
+//!
+//! Swapping in the real rayon restores work stealing with no call-site
 //! changes.
 
-pub mod iter {
-    /// `into_par_iter()` entry point; yields a plain sequential iterator.
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> Self::Iter;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel call will use: `RAYON_NUM_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism. Matches `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+mod pool {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+
+    /// Shared work queue: input items claimed exactly once each via an
+    /// atomic index counter.
+    struct TaskQueue<T> {
+        items: Vec<UnsafeCell<MaybeUninit<T>>>,
+        next: AtomicUsize,
+        poisoned: AtomicBool,
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
+    // SAFETY: items only move *out*, and `fetch_add` hands each index to
+    // exactly one claimant; T crosses threads, hence T: Send.
+    unsafe impl<T: Send> Sync for TaskQueue<T> {}
+
+    impl<T> TaskQueue<T> {
+        fn new(items: Vec<T>) -> Self {
+            Self {
+                items: items
+                    .into_iter()
+                    .map(|t| UnsafeCell::new(MaybeUninit::new(t)))
+                    .collect(),
+                next: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+            }
+        }
+
+        fn take(&self) -> Option<(usize, T)> {
+            if self.poisoned.load(Ordering::Relaxed) {
+                return None;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.items.len() {
+                return None;
+            }
+            // SAFETY: index i was handed to this caller alone (fetch_add),
+            // and every slot starts initialized.
+            Some((i, unsafe { (*self.items[i].get()).assume_init_read() }))
         }
     }
 
-    /// Marker mirroring rayon's `ParallelIterator`; every sequential
-    /// iterator qualifies, so `map`/`filter`/`collect` chains type-check
-    /// unchanged.
-    pub trait ParallelIterator: Iterator {}
-    impl<T: Iterator> ParallelIterator for T {}
+    impl<T> Drop for TaskQueue<T> {
+        fn drop(&mut self) {
+            // Claimed items were moved out by `take`; drop only the
+            // never-claimed tail (nonempty only after a worker panic).
+            let claimed = self.next.load(Ordering::Relaxed).min(self.items.len());
+            for c in &mut self.items[claimed..] {
+                unsafe { c.get_mut().assume_init_drop() };
+            }
+        }
+    }
+
+    /// Per-index output slots, written once each by whichever worker
+    /// claimed the index.
+    struct ResultSlots<R> {
+        slots: Vec<UnsafeCell<MaybeUninit<R>>>,
+    }
+
+    // SAFETY: each slot is written by exactly one worker (the unique
+    // claimant of its index) and only read after all workers joined.
+    unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+    impl<R> ResultSlots<R> {
+        /// SAFETY: the caller must be the unique claimant of index `i`.
+        unsafe fn write(&self, i: usize, r: R) {
+            (*self.slots[i].get()).write(r);
+        }
+    }
+
+    /// Sets the poison flag if dropped during a panic unwind, so sibling
+    /// workers stop claiming new items.
+    struct PoisonGuard<'a>(&'a AtomicBool);
+
+    impl Drop for PoisonGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Apply `f` to every item on `threads` scoped workers; results come
+    /// back in input order regardless of which worker computed what, so
+    /// the output is identical to the sequential map for any `threads`.
+    /// A panic in `f` propagates to the caller (via scope join).
+    pub fn par_map_n<T: Send, R: Send>(
+        threads: usize,
+        items: Vec<T>,
+        f: impl Fn(T) -> R + Sync,
+    ) -> Vec<R> {
+        let n = items.len();
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let queue = TaskQueue::new(items);
+        let slots = ResultSlots {
+            slots: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        };
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(n) {
+                s.spawn(|| {
+                    let guard = PoisonGuard(&queue.poisoned);
+                    while let Some((i, item)) = queue.take() {
+                        let r = f(item);
+                        // SAFETY: this worker is the unique claimant of i.
+                        unsafe { slots.write(i, r) };
+                    }
+                    std::mem::forget(guard);
+                });
+            }
+            // Scope join: if any worker panicked, the panic resumes here
+            // and `slots` is dropped uninspected (initialized results
+            // leak — safe, never double-dropped).
+        });
+        slots
+            .slots
+            .into_iter()
+            // SAFETY: no worker panicked (we are past the scope), so every
+            // index was claimed and its slot written exactly once.
+            .map(|c| unsafe { c.into_inner().assume_init() })
+            .collect()
+    }
+
+    /// `par_map_n` at the environment-selected thread count.
+    pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+        par_map_n(current_num_threads(), items, f)
+    }
+}
+
+pub mod iter {
+    use super::pool;
+
+    /// `into_par_iter()` entry point, mirroring rayon's trait of the same
+    /// name. Any `IntoIterator` with `Send` items qualifies; the items
+    /// are materialized up front so workers can claim them by index.
+    pub trait IntoParallelIterator {
+        type Iter: ParallelIterator<Item = Self::Item>;
+        type Item: Send;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
+        type Iter = ParIter<I::Item>;
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// `par_iter()` entry point: parallel iteration over `&self`, for any
+    /// collection whose reference is `IntoParallelIterator` (mirrors
+    /// rayon's blanket impl).
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: ParallelIterator<Item = Self::Item>;
+        type Item: Send + 'a;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+    where
+        &'a I: IntoParallelIterator,
+    {
+        type Iter = <&'a I as IntoParallelIterator>::Iter;
+        type Item = <&'a I as IntoParallelIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// The base parallel iterator: a materialized list of items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// A lazily mapped parallel iterator.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    /// The adapter surface this workspace uses. Pipelines execute when a
+    /// consuming method (`collect`, `for_each`) runs: the composed
+    /// per-item closure is applied by the pool, and results return in
+    /// input order — sequential and parallel runs are indistinguishable.
+    pub trait ParallelIterator: Sized + Send {
+        type Item: Send;
+
+        /// Execute the pipeline, applying `f` to each produced item in
+        /// parallel; results are in input order.
+        fn run<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync;
+
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = self.run(f);
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.run(|x| x).into_iter().collect()
+        }
+
+        fn count(self) -> usize {
+            self.run(|_| ()).len()
+        }
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+        fn run<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            pool::par_map(self.items, f)
+        }
+    }
+
+    impl<B, F, R> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        type Item = R;
+        fn run<Q, G>(self, g: G) -> Vec<Q>
+        where
+            Q: Send,
+            G: Fn(R) -> Q + Sync,
+        {
+            let f = self.f;
+            self.base.run(move |x| g(f(x)))
+        }
+    }
 }
 
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Direct pool access for tests that need an explicit thread count
+/// (bypasses `RAYON_NUM_THREADS`, which is process-global). Not part of
+/// the real rayon API; call sites must not rely on it.
+#[doc(hidden)]
+pub fn __par_map_with_threads<T: Send, R: Send>(
+    threads: usize,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    pool::par_map_n(threads, items, f)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::prelude::*;
+    use super::__par_map_with_threads as par_map_n;
+    use super::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn sequential_map_collect_matches_std() {
+    fn map_collect_matches_std() {
         let squares: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares, (0..10usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_index_ordered_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) ^ (x << 7);
+        let seq = par_map_n(1, items.clone(), f);
+        for threads in [2, 3, 7, 16] {
+            assert_eq!(
+                par_map_n(threads, items.clone(), f),
+                seq,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // With more threads than items each worker claims at most a few
+        // items; verify multiple workers participated by counting distinct
+        // claimant threads.
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        par_map_n(4, (0..64).collect::<Vec<i32>>(), |x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x
+        });
+        assert!(seen.lock().unwrap().len() > 1, "only one worker ran");
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let res = std::panic::catch_unwind(|| {
+            par_map_n(4, (0..256).collect::<Vec<i32>>(), |x| {
+                if x == 37 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            })
+        });
+        assert!(res.is_err(), "worker panic must propagate to the caller");
+    }
+
+    #[test]
+    fn panicking_sweep_drops_unclaimed_items_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = 512;
+        let items: Vec<Counted> = (0..n).map(Counted).collect();
+        let res = std::panic::catch_unwind(|| {
+            par_map_n(4, items, |c| {
+                if c.0 == 3 {
+                    panic!("boom");
+                }
+                drop(c);
+            })
+        });
+        assert!(res.is_err());
+        // Every item was dropped exactly once: either moved into `f`
+        // (dropped there) or dropped as unclaimed queue tail.
+        assert_eq!(DROPS.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn par_iter_over_slice_refs() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(v.len(), 4); // v not consumed
+    }
+
+    #[test]
+    fn for_each_and_count() {
+        let hits = AtomicUsize::new(0);
+        (0..100u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!((0..41u8).into_par_iter().map(|x| x).count(), 41);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![9].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
