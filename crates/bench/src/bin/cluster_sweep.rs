@@ -73,6 +73,7 @@ fn main() {
                 seed: args.seed,
                 ..ClusterConfig::quick()
             };
+            #[allow(clippy::disallowed_methods)] // wall-clock progress chatter on stderr
             let t0 = std::time::Instant::now();
             let report = ClusterSim::new(cfg).run();
             (label, report, t0.elapsed().as_secs_f64())

@@ -6,7 +6,7 @@ use hammingmesh::hxcollect::rings::{
     disjoint_hamiltonian_cycles, validate_cycle, validate_disjoint,
 };
 use hxbench::{header, HarnessArgs};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn main() {
     // No simulation here, but parse for the uniform figure-binary CLI.
@@ -20,7 +20,7 @@ fn main() {
         validate_cycle(&red, r, c).unwrap();
         validate_disjoint(&green, &red).unwrap();
 
-        let edge_set = |cy: &[(usize, usize)]| -> HashSet<((usize, usize), (usize, usize))> {
+        let edge_set = |cy: &[(usize, usize)]| -> BTreeSet<((usize, usize), (usize, usize))> {
             (0..cy.len())
                 .map(|i| {
                     let (a, b) = (cy[i], cy[(i + 1) % cy.len()]);

@@ -34,6 +34,7 @@ struct EngineRun {
 
 fn run_both(mut f: impl FnMut(EngineKind) -> Measurement) -> (EngineRun, EngineRun) {
     let mut one = |engine| {
+        #[allow(clippy::disallowed_methods)] // wall-clock is this bin's product
         let t0 = Instant::now();
         let m = f(engine);
         EngineRun {
@@ -237,6 +238,7 @@ fn write_bench_par(out_dir: &std::path::Path, quick: bool) {
     let run_fig8 = || fig8_utilization(16, 16, fig8_traces, full_stack, 0xC0FFEE);
     let run_fig9 = || fig9_upper_traffic(64, 64, fig9_traces, locality_stack, 0xC0FFEE);
     let timed = |f: &dyn Fn() -> Vec<Distribution>| {
+        #[allow(clippy::disallowed_methods)] // wall-clock is this bin's product
         let t0 = Instant::now();
         let d = f();
         (d, t0.elapsed().as_secs_f64())

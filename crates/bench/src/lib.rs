@@ -105,6 +105,8 @@ pub fn header(title: &str) {
 
 /// Time a closure and report wall-clock seconds on stderr.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    #[allow(clippy::disallowed_methods)]
+    // hxlint: allow(D002) wall-clock benchmark chatter on stderr; simulation results never read it
     let t0 = Instant::now();
     let out = f();
     eprintln!("[{label}] {:.2}s", t0.elapsed().as_secs_f64());

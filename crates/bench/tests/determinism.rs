@@ -99,6 +99,33 @@ fn fig10_routed_is_thread_count_invariant() {
     );
 }
 
+/// Fig. 11's (topology x message-size) alltoall grid: independent cells
+/// on the pool, table reassembled in grid order. No CSV on this binary —
+/// the printed table is the entire artifact.
+#[test]
+fn fig11_alltoall_is_thread_count_invariant() {
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_fig11_alltoall"), &[], false);
+}
+
+/// Fig. 12's permutation distribution: one seeded permutation run per
+/// topology in parallel; the percentile rows (and the float sums behind
+/// the mean column) must not depend on completion order.
+#[test]
+fn fig12_permutation_is_thread_count_invariant() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_fig12_permutation"),
+        &["--seed", "3735928559"],
+        false,
+    );
+}
+
+/// Fig. 13's (algorithm x topology x size) allreduce grid, the paper's
+/// headline collective result.
+#[test]
+fn fig13_allreduce_is_thread_count_invariant() {
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_fig13_allreduce"), &[], false);
+}
+
 /// The reduction-scaling grid (algorithm x topology; `--traces 1` caps
 /// the sweep at the 64-endpoint cluster size so the debug-profile run
 /// stays a smoke test — the grid indexing under test is identical).

@@ -85,7 +85,7 @@ impl Distribution {
             return 0.0;
         }
         let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let idx = ((v.len() - 1) as f64 * p).round() as usize;
         v[idx]
     }

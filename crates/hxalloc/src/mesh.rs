@@ -312,8 +312,9 @@ impl BoardMesh {
             .min_by(|a, b| {
                 let ta = self.upper_traffic_alltoall(&a.0, &a.1);
                 let tb = self.upper_traffic_alltoall(&b.0, &b.1);
-                ta.partial_cmp(&tb).unwrap()
+                ta.total_cmp(&tb)
             })
+            // hxlint: allow(P001) candidates.is_empty() returned NoSpace above
             .unwrap();
         Ok(self.commit(job, best))
     }

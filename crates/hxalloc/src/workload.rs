@@ -71,6 +71,7 @@ impl JobSizeDistribution {
     /// Sample one job size in boards (>= 1).
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         if rng.random_range(0.0..1.0) < self.small_mass {
+            // hxlint: allow(P001) index drawn from 0..4 of a 4-element array
             return *[1usize, 2, 4, 8].get(rng.random_range(0..4usize)).unwrap();
         }
         // Inverse-CDF sampling of a truncated continuous power law on

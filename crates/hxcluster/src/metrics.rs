@@ -114,6 +114,7 @@ impl ClusterReport {
                     "rejected,{label},{},{},0,0,{},,,,,0,,,,,,,,",
                     j.id, j.boards, j.arrival_ps
                 )
+                // hxlint: allow(P001) fmt::Write into a String is infallible
                 .unwrap();
                 continue;
             }
@@ -131,6 +132,7 @@ impl ClusterReport {
                 j.jct_ps(),
                 j.resims
             )
+            // hxlint: allow(P001) fmt::Write into a String is infallible
             .unwrap();
         }
         writeln!(
@@ -146,6 +148,7 @@ impl ClusterReport {
             self.mean_wait_ps(),
             self.mean_jct_ps()
         )
+        // hxlint: allow(P001) fmt::Write into a String is infallible
         .unwrap();
     }
 }

@@ -34,7 +34,7 @@ use hxsim::{simulate, EngineKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Everything a cluster run is parameterized by.
 #[derive(Clone, Debug)]
@@ -139,8 +139,8 @@ pub struct ClusterSim {
     /// Iteration-time memo: (placement rows, cols, failure set, bytes) ->
     /// (communication ps, busy link-ps). The failure-set key means a
     /// fail -> repair cycle returning to a seen set costs no simulation.
-    iter_cache: HashMap<IterKey, (u64, u64)>,
-    records: HashMap<u32, JobRecord>,
+    iter_cache: BTreeMap<IterKey, (u64, u64)>,
+    records: BTreeMap<u32, JobRecord>,
     fail_rng: StdRng,
     // Metric integrals over time.
     last_metric_ps: u64,
@@ -185,8 +185,8 @@ impl ClusterSim {
             queue: VecDeque::new(),
             running: BTreeMap::new(),
             events,
-            iter_cache: HashMap::new(),
-            records: HashMap::new(),
+            iter_cache: BTreeMap::new(),
+            records: BTreeMap::new(),
             fail_rng,
             last_metric_ps: 0,
             frag_integral: 0.0,
@@ -355,6 +355,7 @@ impl ClusterSim {
                             r.placement = self
                                 .mesh
                                 .placement(*id)
+                                // hxlint: allow(P001) defragment() restores or re-places every running job
                                 .expect("running job lost by defragment")
                                 .clone();
                         }
@@ -402,6 +403,7 @@ impl ClusterSim {
         let r = self
             .running
             .remove(&id)
+            // hxlint: allow(P001) completions are only enqueued for jobs in `running`
             .expect("completion for unknown job");
         debug_assert_eq!(
             self.mesh.placement(id),
@@ -460,6 +462,7 @@ impl ClusterSim {
                 (r.placement.clone(), r.spec.grad_bytes)
             };
             let (comm_ps, busy) = self.measure_iteration(&placement, grad_bytes);
+            // hxlint: allow(P001) `id` was read out of `running` just above
             let r = self.running.get_mut(&id).unwrap();
             let dt = now - r.last_update_ps;
             r.done_iters = (r.done_iters + dt as f64 / r.iter_ps as f64).min(r.spec.iters as f64);

@@ -7,7 +7,7 @@
 //! is the timing half.
 
 use crate::schedule::{OpKind, Payload, RecvAction, Schedule};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of a logical execution.
 #[derive(Debug)]
@@ -33,7 +33,8 @@ pub fn execute(sched: &Schedule, inputs: &[Vec<f32>]) -> Result<LogicalResult, S
     let mut done: Vec<Vec<bool>> = sched.ops.iter().map(|v| vec![false; v.len()]).collect();
     // In-flight messages: (src, dst, tag) -> segment data + offset.
     #[allow(clippy::type_complexity)]
-    let mut mailbox: HashMap<(u32, u32, u64), Vec<(Option<(u32, Vec<f32>)>, u64)>> = HashMap::new();
+    let mut mailbox: BTreeMap<(u32, u32, u64), Vec<(Option<(u32, Vec<f32>)>, u64)>> =
+        BTreeMap::new();
     let mut messages = 0usize;
 
     let total: usize = sched.num_ops();

@@ -16,7 +16,7 @@
 //! `gcd(r, c-1) = 1` condition is exactly what makes the complement a
 //! single cycle (verified at runtime and by property tests).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Why disjoint cycles could not be constructed for a given `r x c`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +90,7 @@ pub fn disjoint_hamiltonian_cycles(r: usize, c: usize) -> Result<(Cycle, Cycle),
     let green: Cycle = (0..n).map(|x| green_coord(x, r, c)).collect();
 
     // Collect green's edge set.
-    let mut used: HashSet<((usize, usize), (usize, usize))> = HashSet::with_capacity(n);
+    let mut used: BTreeSet<((usize, usize), (usize, usize))> = BTreeSet::new();
     for i in 0..n {
         let a = green[i];
         let b = green[(i + 1) % n];
@@ -184,7 +184,7 @@ pub fn validate_cycle(cycle: &Cycle, r: usize, c: usize) -> Result<(), String> {
     if cycle.len() != n {
         return Err(format!("length {} != {}", cycle.len(), n));
     }
-    let distinct: HashSet<_> = cycle.iter().collect();
+    let distinct: BTreeSet<_> = cycle.iter().collect();
     if distinct.len() != n {
         return Err("revisits a node".into());
     }
@@ -200,7 +200,7 @@ pub fn validate_cycle(cycle: &Cycle, r: usize, c: usize) -> Result<(), String> {
 /// Validate that two cycles share no edge.
 pub fn validate_disjoint(a: &Cycle, b: &Cycle) -> Result<(), String> {
     let n = a.len();
-    let ea: HashSet<_> = (0..n)
+    let ea: BTreeSet<_> = (0..n)
         .map(|i| canonical_edge(a[i], a[(i + 1) % n]))
         .collect();
     for i in 0..b.len() {
@@ -247,7 +247,7 @@ mod tests {
         let (r, c) = (8, 4);
         let (g, red) = disjoint_hamiltonian_cycles(r, c).unwrap();
         let n = r * c;
-        let mut edges: HashSet<_> = HashSet::new();
+        let mut edges: BTreeSet<_> = BTreeSet::new();
         for cy in [&g, &red] {
             for i in 0..n {
                 edges.insert(canonical_edge(cy[i], cy[(i + 1) % n]));
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn green_coord_is_bijective() {
         let (r, c) = (9, 3);
-        let set: HashSet<_> = (0..r * c).map(|x| green_coord(x, r, c)).collect();
+        let set: BTreeSet<_> = (0..r * c).map(|x| green_coord(x, r, c)).collect();
         assert_eq!(set.len(), r * c);
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::schedule::{OpKind, Schedule};
 use hxsim::{Application, Ctx, MsgInfo};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A schedule bound to simulator ranks, executable by [`hxsim::Engine`].
 pub struct ScheduleApp<'s> {
@@ -15,13 +15,13 @@ pub struct ScheduleApp<'s> {
     /// Schedule rank -> simulator rank (job placement).
     mapping: Vec<u32>,
     /// Simulator rank -> schedule rank.
-    inverse: HashMap<u32, u32>,
+    inverse: BTreeMap<u32, u32>,
     /// Remaining dependency count per (rank, op).
     indeg: Vec<Vec<u32>>,
     /// Reverse dependency lists per (rank, op).
     dependents: Vec<Vec<Vec<u32>>>,
     /// For each send op: the matched receiver (schedule rank, op index).
-    send_match: Vec<HashMap<u32, (u32, u32)>>,
+    send_match: Vec<BTreeMap<u32, (u32, u32)>>,
     remaining: usize,
     /// Completion time of the final op (ps).
     pub finish_ps: u64,
@@ -37,8 +37,9 @@ impl<'s> ScheduleApp<'s> {
     /// simulator rank `mapping[r]`.
     pub fn with_mapping(sched: &'s Schedule, mapping: Vec<u32>) -> Self {
         assert_eq!(mapping.len(), sched.nranks);
+        // hxlint: allow(P001) constructor contract: binding an invalid schedule is a caller bug, fail loudly
         sched.validate().expect("invalid schedule");
-        let inverse: HashMap<u32, u32> = mapping
+        let inverse: BTreeMap<u32, u32> = mapping
             .iter()
             .enumerate()
             .map(|(s, &g)| (g, s as u32))
@@ -61,7 +62,7 @@ impl<'s> ScheduleApp<'s> {
         }
 
         // Static send/recv matching by (src, dst, tag) in program order.
-        let mut pending_recvs: HashMap<(u32, u32, u64), Vec<(u32, u32)>> = HashMap::new();
+        let mut pending_recvs: BTreeMap<(u32, u32, u64), Vec<(u32, u32)>> = BTreeMap::new();
         for (r, ops) in sched.ops.iter().enumerate() {
             for (i, op) in ops.iter().enumerate() {
                 if let OpKind::Recv { from, tag, .. } = op.kind {
@@ -72,12 +73,13 @@ impl<'s> ScheduleApp<'s> {
                 }
             }
         }
-        let mut send_match: Vec<HashMap<u32, (u32, u32)>> = vec![HashMap::new(); sched.nranks];
+        let mut send_match: Vec<BTreeMap<u32, (u32, u32)>> = vec![BTreeMap::new(); sched.nranks];
         for (r, ops) in sched.ops.iter().enumerate() {
             for (i, op) in ops.iter().enumerate() {
                 if let OpKind::Send { to, tag, .. } = op.kind {
                     let q = pending_recvs
                         .get_mut(&(r as u32, to, tag))
+                        // hxlint: allow(P001) static matching rejects malformed schedules loudly by design
                         .unwrap_or_else(|| panic!("send rank {r} op {i}: no matching recv"));
                     assert!(!q.is_empty(), "send rank {r} op {i}: recv count mismatch");
                     let m = q.remove(0);

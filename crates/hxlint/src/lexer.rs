@@ -1,0 +1,427 @@
+//! A minimal Rust lexer — just enough syntax awareness for the lint rules.
+//!
+//! The goal is *token-accurate* scanning, not parsing: rules match on
+//! identifier/punctuation sequences, so the lexer's one job is to never
+//! mistake the inside of a string, char literal, or comment for code (and
+//! vice versa). It handles the classic trouble spots: nested block
+//! comments, raw strings with arbitrary `#` fences, byte/raw-byte
+//! strings, raw identifiers (`r#type`), and the lifetime-vs-char-literal
+//! ambiguity after `'`.
+//!
+//! Line comments are kept as tokens (the waiver syntax lives in them);
+//! block comments and doc comments are discarded. Literals are collapsed
+//! to a single [`Tok::Literal`] — no rule cares about their content.
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#type` → `type`).
+    Ident(String),
+    /// Single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// A `//` line comment's text, *excluding* the leading `//` (doc
+    /// comments keep their extra `/` or `!` so waiver parsing can reject
+    /// them — waivers must be plain `//` comments).
+    LineComment(String),
+    /// A lifetime such as `'a` (content discarded).
+    Lifetime,
+    /// String / char / byte / numeric literal (content discarded).
+    Literal,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Unterminated constructs (string, block
+/// comment) consume to end of input rather than erroring: the linter runs
+/// on sources the compiler already accepted, so graceful degradation
+/// beats diagnostics here.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.push(Token {
+                tok: Tok::LineComment(text),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw strings / raw identifiers: r"..", r#".."#, r#ident.
+        if c == 'r' && matches!(cur.peek(1), Some('"') | Some('#')) {
+            if raw_string(&mut cur, 1) {
+                out.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump(); // r
+                cur.bump(); // #
+                let id = ident(&mut cur);
+                out.push(Token {
+                    tok: Tok::Ident(id),
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+        // Byte strings / byte chars: b"..", br"..", b'x'.
+        if c == 'b' {
+            match cur.peek(1) {
+                Some('"') => {
+                    cur.bump();
+                    string(&mut cur);
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                Some('\'') => {
+                    cur.bump();
+                    char_literal(&mut cur);
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                // `raw_string` consumes nothing when it returns false, so
+                // a plain `br` identifier falls through to ident handling.
+                Some('r')
+                    if matches!(cur.peek(2), Some('"') | Some('#')) && raw_string(&mut cur, 2) =>
+                {
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if is_ident_start(c) {
+            let id = ident(&mut cur);
+            out.push(Token {
+                tok: Tok::Ident(id),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            number(&mut cur);
+            out.push(Token {
+                tok: Tok::Literal,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '"' {
+            string(&mut cur);
+            out.push(Token {
+                tok: Tok::Literal,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let tok = lifetime_or_char(&mut cur);
+            out.push(Token { tok, line, col });
+            continue;
+        }
+        cur.bump();
+        out.push(Token {
+            tok: Tok::Punct(c),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        s.push(c);
+        cur.bump();
+    }
+    s
+}
+
+/// Numeric literal: digits plus alphanumeric suffix chars, and a decimal
+/// point only when followed by a digit (so `1.max(2)` stops at `1`).
+fn number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit())) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Consume a `"…"` string (cursor on the opening quote), honoring `\"`.
+fn string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Try to consume a raw (byte) string whose `r` sits `r_at` chars ahead of
+/// the cursor start (cursor is on `r` for `r"…"`, on `b` for `br"…"`).
+/// Returns false — consuming nothing — if the `#` fence is not followed by
+/// a quote (i.e. this is a raw identifier, not a raw string).
+fn raw_string(cur: &mut Cursor, r_at: usize) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(r_at + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(r_at + hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..r_at + hashes + 1 {
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` many `#`.
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true // unterminated: consumed to EOF
+}
+
+/// Consume a `'…'` char literal body (cursor on the opening quote).
+fn char_literal(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    if cur.bump() == Some('\\') {
+        // Escaped char: enough for \n, \', \\, and the lead of \x41 /
+        // \u{..}; the trailing digits and closing quote fall to the loop.
+        cur.bump();
+    }
+    while let Some(c) = cur.bump() {
+        if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` (char literal), cursor on `'`.
+fn lifetime_or_char(cur: &mut Cursor) -> Tok {
+    // An escape is always a char literal.
+    if cur.peek(1) == Some('\\') {
+        char_literal(cur);
+        return Tok::Literal;
+    }
+    // `'x'` with a closing quote right after one char: char literal.
+    if cur.peek(2) == Some('\'') && cur.peek(1) != Some('\'') {
+        cur.bump();
+        cur.bump();
+        cur.bump();
+        return Tok::Literal;
+    }
+    // Otherwise `'ident` is a lifetime (including `'static`).
+    if cur.peek(1).is_some_and(is_ident_start) {
+        cur.bump();
+        ident(cur);
+        return Tok::Lifetime;
+    }
+    // Degenerate (`''` or stray quote): treat as literal, consume it.
+    char_literal(cur);
+    Tok::Literal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            let a = "HashMap in a string";
+            /* HashMap in /* a nested */ block comment */
+            let b = r#"raw HashMap"#;
+            let c = 'H'; let d: &'static str = "x";
+            let real = HashMap::new();
+        "##;
+        assert_eq!(idents(src).iter().filter(|i| *i == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let src = "let r#type = b\"HashMap\"; let x = br#\"HashSet\"#; fn r#fn() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn line_comment_text_and_spans() {
+        let toks = lex("let x = 1; // hxlint: allow(D001) reason\nlet y = 2;");
+        let c = toks
+            .iter()
+            .find(|t| matches!(t.tok, Tok::LineComment(_)))
+            .unwrap();
+        assert_eq!(c.line, 1);
+        match &c.tok {
+            Tok::LineComment(t) => assert_eq!(t.trim(), "hxlint: allow(D001) reason"),
+            _ => unreachable!(),
+        }
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 5));
+    }
+
+    #[test]
+    fn doc_comments_keep_their_marker() {
+        let toks = lex("/// hxlint: allow(D001) nope\nstruct S;");
+        match &toks[0].tok {
+            Tok::LineComment(t) => assert!(t.starts_with('/')),
+            t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_methods() {
+        let ids = idents("let x = 1.max(2) + 0.5 + 0xFFu64;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,128 @@
+//! CLI for the workspace lint: `cargo run -p hxlint [-- options]`.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use hxlint::rules::{RULES, WAIVER_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hxlint [--root PATH] [--format text|json] [--list-rules]\n\
+         \n\
+         Lints the workspace's .rs sources for determinism and soundness\n\
+         (see --list-rules). Waive a finding with an inline comment:\n\
+         `// hxlint: allow(D001) <reason>` — unused waivers are errors."
+    );
+    std::process::exit(2);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => usage(),
+            },
+            "--list-rules" => {
+                for r in RULES.iter().chain(WAIVER_RULES) {
+                    println!("{}  {}\n      scope: {}", r.code, r.summary, r.scope);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("hxlint: cannot determine current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match hxlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "hxlint: no workspace root above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let findings = match hxlint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hxlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "hxlint: {} finding(s) in {}",
+                findings.len(),
+                root.display()
+            );
+        }
+        Format::Json => {
+            let mut out = String::from("{\"findings\":[");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                    json_escape(&f.file),
+                    f.line,
+                    f.col,
+                    json_escape(&f.rule),
+                    json_escape(&f.message),
+                ));
+            }
+            out.push_str(&format!("],\"count\":{}}}", findings.len()));
+            println!("{out}");
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,15 @@
+//! D001 fixture (broken): hash containers in a sim-state crate. Linted as
+//! `hxnet` lib code by `tests/fixtures.rs`; never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub struct RoutingState {
+    next_hop: HashMap<u32, u32>,
+    visited: HashSet<u32>,
+}
+
+impl RoutingState {
+    pub fn candidates(&self) -> Vec<u32> {
+        // Iteration order here is RandomState order — the exact bug class.
+        self.next_hop.values().copied().collect()
+    }
+}

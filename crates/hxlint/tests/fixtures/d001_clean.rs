@@ -1,0 +1,14 @@
+//! D001 fixture (clean): ordered containers in a sim-state crate.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct RoutingState {
+    next_hop: BTreeMap<u32, u32>,
+    visited: BTreeSet<u32>,
+}
+
+impl RoutingState {
+    pub fn candidates(&self) -> Vec<u32> {
+        // BTreeMap iterates in key order: deterministic across processes.
+        self.next_hop.values().copied().collect()
+    }
+}

@@ -1,0 +1,12 @@
+//! D002 fixture (broken): ambient entropy and wall-clock in library code.
+//! Linted as `hxsim` lib code by `tests/fixtures.rs`; never compiled.
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_delay(base: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    base + rng.random_range(0..10)
+}
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

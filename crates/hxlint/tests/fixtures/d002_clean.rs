@@ -1,0 +1,20 @@
+//! D002 fixture (clean): randomness threads from a caller-supplied seeded
+//! RNG and time comes from the simulated clock, not the host.
+use rand::{rngs::StdRng, Rng};
+
+pub fn jittered_delay(rng: &mut StdRng, base: u64) -> u64 {
+    base + rng.random_range(0..10)
+}
+
+pub fn stamp(sim_now_ps: u64) -> u64 {
+    sim_now_ps
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock in tests is fine: D002 only covers shipped library code.
+    #[test]
+    fn timing_smoke() {
+        let _ = std::time::Instant::now();
+    }
+}

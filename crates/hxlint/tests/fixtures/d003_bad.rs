@@ -1,0 +1,15 @@
+//! D003 fixture (broken): float reductions fed straight off a parallel
+//! iterator. Linted as bin code by `tests/fixtures.rs`; never compiled.
+use rayon::prelude::*;
+
+pub fn mean_utilization(samples: &[f64]) -> f64 {
+    let total: f64 = samples.par_iter().map(|s| s * 0.5).sum();
+    total / samples.len() as f64
+}
+
+pub fn max_load(samples: &[f64]) -> f64 {
+    samples
+        .par_iter()
+        .copied()
+        .reduce(|| 0.0, f64::max)
+}

@@ -1,0 +1,9 @@
+//! D003 fixture (clean): parallel map, collect into input-index order,
+//! then reduce sequentially — float addition order is fixed.
+use rayon::prelude::*;
+
+pub fn mean_utilization(samples: &[f64]) -> f64 {
+    let halved: Vec<f64> = samples.par_iter().map(|s| s * 0.5).collect();
+    let total: f64 = halved.iter().sum();
+    total / samples.len() as f64
+}

@@ -1,0 +1,15 @@
+//! P001 fixture (broken): panicking calls in library non-test code.
+//! Linted as `hxcost` lib code by `tests/fixtures.rs`; never compiled.
+
+pub fn cable_cost(table: &[(u32, f64)], len_m: u32) -> f64 {
+    let entry = table.iter().find(|(l, _)| *l == len_m).unwrap();
+    entry.1
+}
+
+pub fn port_count(radix: Option<u32>) -> u32 {
+    radix.expect("radix must be set")
+}
+
+pub fn reject(kind: &str) -> ! {
+    panic!("unsupported cable kind {kind}")
+}

@@ -1,0 +1,23 @@
+//! P001 fixture (clean): errors propagate; the one residual unwrap is
+//! waived with the invariant that rules the panic out; tests may panic.
+
+pub fn cable_cost(table: &[(u32, f64)], len_m: u32) -> Option<f64> {
+    table.iter().find(|(l, _)| *l == len_m).map(|(_, c)| *c)
+}
+
+pub fn first_cost(table: &[(u32, f64)]) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    // hxlint: allow(P001) guarded by the is_empty early-return above
+    table.first().unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lookup_works() {
+        // Tests panic on failure by design; P001 does not cover them.
+        assert_eq!(super::cable_cost(&[(5, 272.0)], 5).unwrap(), 272.0);
+    }
+}

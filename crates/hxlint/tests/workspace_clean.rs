@@ -1,0 +1,24 @@
+//! The workspace gate as a `#[test]`: `cargo test -p hxlint` fails if any
+//! unwaived finding exists anywhere in the repo, so the determinism and
+//! panic-hygiene rules are enforced by the ordinary test run, not only by
+//! the dedicated CI job running the `hxlint` binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = hxlint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("hxlint lives inside the workspace");
+    let findings = hxlint::lint_workspace(&root).expect("workspace lint runs");
+    assert!(
+        findings.is_empty(),
+        "hxlint found {} unwaived finding(s); fix them or add a \
+         `// hxlint: allow(RULE) <reason>` waiver:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -14,7 +14,7 @@
 use crate::cable_link;
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
 use crate::route::{FailoverTable, Hop, LoadProbe, Router};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
 pub struct DragonflyParams {
@@ -117,7 +117,7 @@ impl DragonflyParams {
         let mut budget = vec![self.h; self.groups * self.a];
         let mut covers = vec![false; self.groups * self.a * self.groups];
         let mut next_switch = vec![0usize; self.groups]; // rotating pick
-        let mut global_ports: HashMap<NodeId, Vec<(PortId, u32)>> = HashMap::new();
+        let mut global_ports: BTreeMap<NodeId, Vec<(PortId, u32)>> = BTreeMap::new();
         'outer: loop {
             let mut connected_any = false;
             for g1 in 0..self.groups {
@@ -176,17 +176,17 @@ impl DragonflyParams {
 
         // Per-switch routing tables.
         // to_group[switch] : target group -> (direct global ports, local ports toward switches owning such globals)
-        let mut direct: HashMap<NodeId, HashMap<u32, Vec<PortId>>> = HashMap::new();
+        let mut direct: BTreeMap<NodeId, BTreeMap<u32, Vec<PortId>>> = BTreeMap::new();
         for (node, ports) in &global_ports {
-            let m: &mut HashMap<u32, Vec<PortId>> = direct.entry(*node).or_default();
+            let m: &mut BTreeMap<u32, Vec<PortId>> = direct.entry(*node).or_default();
             for (port, tg) in ports {
                 m.entry(*tg).or_default().push(*port);
             }
         }
         // local port map: switch -> peer switch -> port
-        let mut local_port: HashMap<NodeId, HashMap<NodeId, PortId>> = HashMap::new();
+        let mut local_port: BTreeMap<NodeId, BTreeMap<NodeId, PortId>> = BTreeMap::new();
         for &s in &switches {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             for (pi, link) in topo.node(s).ports.iter().enumerate() {
                 let peer = link.peer.node;
                 if topo.kind(peer).is_switch() && link.spec.cable == Cable::Dac {
@@ -196,9 +196,9 @@ impl DragonflyParams {
             local_port.insert(s, m);
         }
         // endpoint port map: switch -> endpoint -> port
-        let mut endpoint_port: HashMap<NodeId, HashMap<NodeId, PortId>> = HashMap::new();
+        let mut endpoint_port: BTreeMap<NodeId, BTreeMap<NodeId, PortId>> = BTreeMap::new();
         for &s in &switches {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             for (pi, link) in topo.node(s).ports.iter().enumerate() {
                 let peer = link.peer.node;
                 if topo.kind(peer).is_accelerator() {
@@ -207,7 +207,7 @@ impl DragonflyParams {
             }
             endpoint_port.insert(s, m);
         }
-        let group_of: HashMap<NodeId, u32> = switches
+        let group_of: BTreeMap<NodeId, u32> = switches
             .iter()
             .enumerate()
             .map(|(i, &s)| (s, (i / self.a) as u32))
@@ -251,13 +251,13 @@ pub struct DragonflyRouter {
     /// Per endpoint rank: its switch.
     endpoint_switch: Vec<NodeId>,
     /// switch -> target group -> direct global ports.
-    direct: HashMap<NodeId, HashMap<u32, Vec<PortId>>>,
+    direct: BTreeMap<NodeId, BTreeMap<u32, Vec<PortId>>>,
     /// switch -> peer switch in group -> local port.
-    local_port: HashMap<NodeId, HashMap<NodeId, PortId>>,
+    local_port: BTreeMap<NodeId, BTreeMap<NodeId, PortId>>,
     /// switch -> attached endpoint -> port.
-    endpoint_port: HashMap<NodeId, HashMap<NodeId, PortId>>,
+    endpoint_port: BTreeMap<NodeId, BTreeMap<NodeId, PortId>>,
     /// switch -> group id.
-    group_of: HashMap<NodeId, u32>,
+    group_of: BTreeMap<NodeId, u32>,
     failover: FailoverTable,
 }
 
@@ -323,7 +323,10 @@ impl DragonflyRouter {
                 out.push(Hop { port: p, vc: gvc });
             }
         }
-        // Local hops to switches with a direct global link.
+        // Local hops to switches with a direct global link. The map is a
+        // BTreeMap so this iteration — which fixes the candidate order the
+        // engines' adaptive tie-breaks see — is in NodeId order, not the
+        // per-process hash order that D001 exists to keep out of results.
         for (peer, &p) in &self.local_port[&node] {
             if self
                 .direct

@@ -219,7 +219,7 @@ impl FatTreeParams {
             levels.push(spines);
         }
 
-        let boundary: std::collections::HashMap<NodeId, usize> = up_start.into_iter().collect();
+        let boundary: std::collections::BTreeMap<NodeId, usize> = up_start.into_iter().collect();
         let table = UpDownTable::build(
             &topo,
             &levels,

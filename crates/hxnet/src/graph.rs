@@ -129,7 +129,9 @@ pub struct Node {
 /// in O(1) per transition. Two distinct sets of equal size collide only if
 /// their mixed hashes XOR equal — vanishingly unlikely and not achievable
 /// by the simulators' random sweeps.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+// `Ord` so the id can key ordered maps (hxcluster's iteration-time memo
+// keys on it; D001 keeps hash maps out of the sim crates).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct FailureSetId {
     /// Number of failed full-duplex links.
     pub count: u32,
@@ -219,9 +221,11 @@ impl Topology {
         let n = self
             .nodes
             .get(node.idx())
+            // hxlint: allow(P001) documented contract: bad fault-injection input must fail loudly, not kill another cable
             .unwrap_or_else(|| panic!("fault injection on nonexistent node {node:?}"));
         n.ports
             .get(port.idx())
+            // hxlint: allow(P001) documented contract: bad fault-injection input must fail loudly, not kill another cable
             .unwrap_or_else(|| panic!("fault injection on nonexistent port {node:?}:{port:?}"))
             .peer
     }
@@ -468,6 +472,7 @@ impl Network {
     pub fn rank_of(&self, node: NodeId) -> u32 {
         match self.topo.kind(node) {
             NodeKind::Accelerator { rank } => rank,
+            // hxlint: allow(P001) documented contract: rank_of is accelerator-only
             k => panic!("rank_of called on {k:?}"),
         }
     }
@@ -654,6 +659,38 @@ mod tests {
         t.fail_link(a, pab);
         t.fail_link(b, pbc);
         assert_eq!(t.failure_set_id(), both);
+    }
+
+    /// Pins the O(1) maintenance rule the caches rely on: the fingerprint
+    /// of a failure set is exactly the XOR of the singleton fingerprints,
+    /// so `fail_link`/`restore_link` can update it incrementally without
+    /// ever rescanning the graph — and `count` (not the fingerprint) is
+    /// what separates the empty set from any set that XORs to zero.
+    #[test]
+    fn failure_set_fingerprint_composes_by_xor() {
+        let mut t = Topology::new();
+        let a = t.add_switch(0, 0, 0);
+        let b = t.add_switch(0, 0, 1);
+        let c = t.add_switch(0, 0, 2);
+        let (pab, _) = t.connect(a, b, spec());
+        let (pbc, _) = t.connect(b, c, spec());
+
+        t.fail_link(a, pab);
+        let only_ab = t.failure_set_id();
+        t.restore_link(a, pab);
+        t.fail_link(b, pbc);
+        let only_bc = t.failure_set_id();
+        t.fail_link(a, pab);
+        let both = t.failure_set_id();
+
+        assert_eq!(both.count, 2);
+        assert_eq!(both.fingerprint, only_ab.fingerprint ^ only_bc.fingerprint);
+        // Singleton fingerprints are the mixed cable hashes themselves —
+        // nonzero, distinct, and wiped back out by the inverse transition.
+        assert_ne!(only_ab.fingerprint, 0);
+        assert_ne!(only_ab.fingerprint, only_bc.fingerprint);
+        t.restore_link(b, pbc);
+        assert_eq!(t.failure_set_id(), only_ab);
     }
 
     #[test]

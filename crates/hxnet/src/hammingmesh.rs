@@ -25,7 +25,7 @@
 use crate::graph::{Cable, Network, NodeId, PortId, Topology};
 use crate::route::{FailoverTable, Hop, LoadProbe, Router, UpDownTable};
 use crate::{cable_link, pcb_link};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Compass direction of an accelerator port within a plane.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -207,8 +207,8 @@ impl HxMeshParams {
         // lines AoC (§III-D layout); inter-switch links are always AoC.
         let mut leaves_all: Vec<NodeId> = Vec::new();
         let mut spines_all: Vec<NodeId> = Vec::new();
-        let mut up_boundary: HashMap<NodeId, usize> = HashMap::new();
-        let mut switch_net: HashMap<NodeId, NetRef> = HashMap::new();
+        let mut up_boundary: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut switch_net: BTreeMap<NodeId, NetRef> = BTreeMap::new();
         let mut group = 0u32;
 
         let mut build_line = |topo: &mut Topology,
@@ -359,7 +359,7 @@ pub struct HxMeshRouter {
     /// Accelerator node at flattened (bi, bj, r, c).
     acc_at: Vec<NodeId>,
     table: UpDownTable,
-    switch_net: HashMap<NodeId, NetRef>,
+    switch_net: BTreeMap<NodeId, NetRef>,
     /// Safety net for fault injection beyond the structured handling
     /// below: guarantees progress and failed-link avoidance for *any*
     /// failure set (e.g. both exits of a board line cut at once), not

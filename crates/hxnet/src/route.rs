@@ -8,7 +8,7 @@
 //! HammingMesh) are expressed as a *waypoint* stored in the packet header.
 
 use crate::graph::{NodeId, PortId, Topology};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Congestion oracle the simulator exposes to routers for source-side
@@ -139,7 +139,7 @@ struct FailoverCache {
     /// Failure set the cached distances were computed under.
     set: crate::graph::FailureSetId,
     /// Per target: failure-aware BFS distance from every node to it.
-    dist: HashMap<NodeId, Vec<u32>>,
+    dist: BTreeMap<NodeId, Vec<u32>>,
 }
 
 impl FailoverTable {
@@ -152,6 +152,7 @@ impl FailoverTable {
     /// filled — a set the cache already holds is served as-is, however
     /// many fail/restore transitions happened in between).
     fn with_dist<R>(&self, topo: &Topology, target: NodeId, f: impl FnOnce(&[u32]) -> R) -> R {
+        // hxlint: allow(P001) lock poisoning only follows a panic already unwinding this thread's caller
         let mut cache = self.cache.lock().unwrap();
         if cache.set != topo.failure_set_id() {
             cache.set = topo.failure_set_id();
@@ -244,10 +245,10 @@ impl FailoverTable {
 #[derive(Clone, Debug, Default)]
 pub struct UpDownTable {
     /// Per switch node: ports that point towards the roots.
-    up: HashMap<NodeId, Vec<PortId>>,
+    up: BTreeMap<NodeId, Vec<PortId>>,
     /// Per switch node: target accelerator -> down ports reaching it
     /// minimally inside the tree.
-    down: HashMap<NodeId, HashMap<NodeId, Vec<PortId>>>,
+    down: BTreeMap<NodeId, BTreeMap<NodeId, Vec<PortId>>>,
 }
 
 impl UpDownTable {
@@ -269,7 +270,7 @@ impl UpDownTable {
             for &sw in switches {
                 let nports = topo.num_ports(sw);
                 let mut ups = Vec::new();
-                let mut downs: HashMap<NodeId, Vec<PortId>> = HashMap::new();
+                let mut downs: BTreeMap<NodeId, Vec<PortId>> = BTreeMap::new();
                 for p in 0..nports {
                     let port = PortId(p as u16);
                     if is_up(sw, port) {
@@ -288,7 +289,7 @@ impl UpDownTable {
         for lvl in 1..levels.len() {
             for &sw in &levels[lvl] {
                 let nports = topo.num_ports(sw);
-                let mut mine: HashMap<NodeId, Vec<PortId>> = HashMap::new();
+                let mut mine: BTreeMap<NodeId, Vec<PortId>> = BTreeMap::new();
                 for p in 0..nports {
                     let port = PortId(p as u16);
                     if is_up(sw, port) {
@@ -361,13 +362,13 @@ pub struct ShortestPathRouter {
     /// dist[node][target_endpoint_index]
     dist: Vec<Vec<u32>>,
     /// endpoint node -> dense index
-    endpoint_index: HashMap<NodeId, usize>,
+    endpoint_index: BTreeMap<NodeId, usize>,
     failover: FailoverTable,
 }
 
 impl ShortestPathRouter {
     pub fn build(topo: &Topology, endpoints: &[NodeId]) -> Self {
-        let endpoint_index: HashMap<NodeId, usize> =
+        let endpoint_index: BTreeMap<NodeId, usize> =
             endpoints.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         // dist[target][node], computed by BFS from each endpoint.
         let mut per_target = vec![Vec::new(); endpoints.len()];

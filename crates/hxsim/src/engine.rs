@@ -362,6 +362,7 @@ impl<'n> Engine<'n> {
             if ns.nic_pending.is_empty() || ns.out_bytes_total >= self.cfg.nic_window_bytes {
                 return;
             }
+            // hxlint: allow(P001) guarded by the nic_pending.is_empty() early-return above
             let pkt = self.nodes[node.idx()].nic_pending.pop_front().unwrap();
             if !self.route_and_enqueue_nic(node, pkt) {
                 self.nodes[node.idx()].nic_pending.push_back(pkt);

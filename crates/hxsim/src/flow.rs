@@ -348,6 +348,7 @@ impl<'n> FlowEngine<'n> {
                 let pos = q
                     .iter()
                     .position(|&g| g == f)
+                    // hxlint: allow(P001) a gated flow is always parked in its NIC injection queue
                     .expect("flow missing from NIC queue");
                 q.remove(pos);
                 for &g in q.iter() {

@@ -191,6 +191,7 @@ use hammingmesh::hxsim::apps::Alltoall;
 fn flow_engine_is_much_faster_at_bandwidth_scale() {
     let net = HxMeshParams::square(2, 2).build();
     let wall = |kind| {
+        #[allow(clippy::disallowed_methods)] // coarse speedup report, not sim state
         let t0 = std::time::Instant::now();
         let m = experiments::alltoall_bandwidth_on(&net, 2 << 20, 2, kind);
         assert!(m.clean);

@@ -127,7 +127,7 @@ fn scaled_gpt3_shape_across_topologies() {
     cfg.bytes_scale = 0.02;
     let sched = build_iteration(&w, &cfg);
 
-    let mut times = std::collections::HashMap::new();
+    let mut times = std::collections::BTreeMap::new();
     for choice in [
         TopologyChoice::FatTree,
         TopologyChoice::Hx2Mesh,

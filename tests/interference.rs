@@ -48,7 +48,7 @@ fn job_traffic_never_crosses_foreign_boards() {
     assert!(stats.clean());
 
     // No accelerator on job B's boards may have forwarded a single packet.
-    let b_boards: std::collections::HashSet<(u16, u16)> =
+    let b_boards: std::collections::BTreeSet<(u16, u16)> =
         job_b.cells().map(|(r, c)| (r as u16, c as u16)).collect();
     for rank in 0..net.num_ranks() {
         let co = params.coord_of(rank);
@@ -90,7 +90,7 @@ fn interleaved_jobs_stay_isolated() {
         let mut app = ScheduleApp::with_mapping(&sched, map);
         let stats = Engine::new(&net, SimConfig::default()).run(&mut app);
         assert!(stats.clean());
-        let foreign: std::collections::HashSet<(u16, u16)> =
+        let foreign: std::collections::BTreeSet<(u16, u16)> =
             other.cells().map(|(r, c)| (r as u16, c as u16)).collect();
         for rank in 0..net.num_ranks() {
             let co = params.coord_of(rank);

@@ -47,6 +47,7 @@ pub struct Bencher<'a> {
 impl Bencher<'_> {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up: run until the warm-up budget elapses at least once.
+        #[allow(clippy::disallowed_methods)] // measuring wall-clock is criterion's job
         let warm_start = Instant::now();
         loop {
             black_box(routine());
@@ -59,6 +60,7 @@ impl Bencher<'_> {
         let samples = self.cfg.sample_size.max(1) as u64;
         let budget_per_sample = self.cfg.measurement_time / self.cfg.sample_size.max(1) as u32;
         for _ in 0..samples {
+            #[allow(clippy::disallowed_methods)] // measuring wall-clock is criterion's job
             let start = Instant::now();
             let mut n = 0u64;
             loop {

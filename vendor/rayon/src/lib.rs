@@ -350,6 +350,7 @@ mod tests {
         // With more threads than items each worker claims at most a few
         // items; verify multiple workers participated by counting distinct
         // claimant threads.
+        #[allow(clippy::disallowed_types)] // shim-internal test; order never observed
         let seen = std::sync::Mutex::new(std::collections::HashSet::new());
         par_map_n(4, (0..64).collect::<Vec<i32>>(), |x| {
             seen.lock().unwrap().insert(std::thread::current().id());
