@@ -4,27 +4,25 @@
 //! * `--mode board` (default) — the paper's analytic allocation sweep:
 //!   utilization of working boards under random *board* failures, for the
 //!   small and large Hx2/Hx4 meshes, with jobs allocated sorted and in
-//!   arrival order.
+//!   arrival order. This mode sweeps the allocator, not the simulator, so
+//!   it stays hand-rolled here.
 //! * `--mode routed` — the simulated cable sweep the failure-aware
-//!   routers unlock: random failed *cables* (connectivity-preserving) on
-//!   every baseline topology, with alltoall traffic routed around the
-//!   dead links by the simulator, reporting sustained utilization versus
-//!   the number of failed cables. Runs on both engines unless `--engine`
-//!   picks one; `--csv PATH` records the per-draw samples.
+//!   routers unlock, driven by the `specs/fig10_routed.toml` scenario:
+//!   random failed *cables* (connectivity-preserving) on every baseline
+//!   topology, with alltoall traffic routed around the dead links by the
+//!   simulator. Runs on both engines unless `--engine` picks one;
+//!   `--traces N` overrides the number of random draws per sweep point
+//!   and `--csv PATH` records the per-draw samples.
 
-use hammingmesh::hxsim::EngineKind;
-use hammingmesh::prelude::*;
 use hxbench::{header, timed, HarnessArgs};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-use std::fmt::Write as _;
 
 fn main() {
     let args = HarnessArgs::parse();
     match args.mode.as_deref() {
         None | Some("board") => board_mode(&args),
-        Some("routed") => routed_mode(&args),
+        Some("routed") => {
+            hxbench::run_spec(include_str!("../../../../specs/fig10_routed.toml"), &args)
+        }
         Some(other) => {
             eprintln!("unknown --mode {other:?} (expected \"board\" or \"routed\")");
             std::process::exit(2);
@@ -75,119 +73,4 @@ fn board_mode(args: &HarnessArgs) {
         }
     }
     println!("\nPaper: median utilization of working boards >70% in almost all cases.");
-}
-
-/// The routed cable-failure sweep: alltoall utilization vs failed cables
-/// on every baseline topology, routing around the dead links.
-fn routed_mode(args: &HarnessArgs) {
-    let (n, bytes, window) = if args.full {
-        (256usize, 256u64 << 10, 2u32)
-    } else {
-        (64usize, 32u64 << 10, 2u32)
-    };
-    let traces = args.traces.unwrap_or(if args.full { 5 } else { 3 });
-    let sweep: &[usize] = if args.full {
-        &[0, 4, 8, 16, 32]
-    } else {
-        &[0, 1, 2, 4, 8]
-    };
-    let engines: Vec<EngineKind> = match args.engine {
-        Some(e) => vec![e],
-        None => EngineKind::all().to_vec(),
-    };
-    let topologies = [
-        TopologyChoice::FatTree,
-        TopologyChoice::Dragonfly,
-        TopologyChoice::HyperX,
-        TopologyChoice::Hx2Mesh,
-        TopologyChoice::Torus,
-    ];
-
-    header(&format!(
-        "Fig. 10 (routed) — alltoall utilization vs failed cables, \
-         {n} endpoints, {}/pair, {traces} draws",
-        hxbench::fmt_bytes(bytes)
-    ));
-    // Every (topology, failures, engine, draw) cell is an independent
-    // simulation: each builds its own network and failure set (seeded per
-    // draw, so the sets are identical at any thread count) and the whole
-    // grid runs on the thread pool. Results come back in grid order, so
-    // the printed table and the CSV are byte-identical to a sequential
-    // run.
-    let mut cells: Vec<(TopologyChoice, usize, EngineKind, usize)> = Vec::new();
-    for &choice in &topologies {
-        for &f in sweep {
-            for &engine in &engines {
-                for t in 0..traces {
-                    cells.push((choice, f, engine, t));
-                }
-            }
-        }
-    }
-    let seed = args.seed;
-    let results: Vec<(f64, u64, bool)> = cells
-        .par_iter()
-        .map(|&(choice, f, engine, t)| {
-            let mut net = choice.build_scaled(n);
-            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            let got = net.fail_random_cables(f, &mut rng);
-            assert_eq!(got, f, "{}: could only fail {got}/{f} cables", net.name);
-            let m = experiments::alltoall_bandwidth_on(&net, bytes, window, engine);
-            assert!(
-                m.clean,
-                "{} with {f} failed cables did not deliver all traffic ({engine})",
-                net.name
-            );
-            (m.bw_fraction, m.time_ps, m.clean)
-        })
-        .collect();
-
-    let mut csv = String::from("topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean\n");
-    let mut cell = 0usize;
-    for choice in topologies {
-        let probe = choice.build_scaled(n);
-        println!(
-            "\n{} ({} endpoints, {} cables):",
-            probe.name,
-            probe.endpoints.len(),
-            probe.topo.cables().len()
-        );
-        print!("{:>8}", "failed");
-        for e in &engines {
-            print!(" {:>9}", format!("{e}%"));
-        }
-        println!();
-        for &f in sweep {
-            let mut means = Vec::new();
-            for &engine in &engines {
-                let mut sum = 0.0;
-                for t in 0..traces {
-                    debug_assert_eq!(cells[cell], (choice, f, engine, t));
-                    let (bw_fraction, time_ps, clean) = results[cell];
-                    cell += 1;
-                    sum += bw_fraction;
-                    writeln!(
-                        csv,
-                        "{},{engine},{f},{t},{bw_fraction:.4},{time_ps},{clean}",
-                        probe.name
-                    )
-                    .unwrap();
-                }
-                means.push(sum / traces as f64);
-            }
-            print!("{f:>8}");
-            for m in &means {
-                print!(" {:>9.1}", m * 100.0);
-            }
-            println!();
-        }
-    }
-    if let Some(path) = &args.csv {
-        std::fs::write(path, &csv).expect("write routed-mode CSV");
-        eprintln!("[fig10_failures] wrote {}", path.display());
-    }
-    println!(
-        "\nPaper: HammingMesh degrades gracefully under failures; with \
-         failure-aware routing every baseline now completes the sweep too."
-    );
 }

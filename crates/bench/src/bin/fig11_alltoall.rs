@@ -1,70 +1,8 @@
 //! Regenerates **Fig. 11**: alltoall bandwidth (share of injection) versus
-//! message size on the small-cluster topologies.
-
-use hammingmesh::prelude::*;
-use hxbench::{fmt_bytes, header, timed, HarnessArgs};
-use rayon::prelude::*;
+//! message size on the small-cluster topologies. The sweep itself lives in
+//! `specs/fig11.toml`; this binary just binds it to the shared flag set.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let engine = args.engine();
-    // Quick scale is 64 endpoints (the qualitative cut-bandwidth ordering
-    // is already visible there), but the sizes span the paper's full
-    // Fig. 11 axis up to 1 MiB: the flow engine's cost is independent of
-    // message size, so quick mode no longer has to stop at 128 KiB the
-    // way the packet engine forced it to (`--engine packet` on this sweep
-    // is the perf-smoke baseline recorded in BENCH_sim.json).
-    let n = if args.full { 1024 } else { 64 };
-    let sizes: &[u64] = if args.full {
-        &[8 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20]
-    } else {
-        &[32 << 10, 256 << 10, 1 << 20]
-    };
-
-    header(&format!(
-        "Fig. 11 — alltoall bandwidth vs message size ({n} endpoints, {engine} engine)"
-    ));
-    print!("{:<24}", "topology");
-    for &s in sizes {
-        print!(" {:>10}", fmt_bytes(s));
-    }
-    println!();
-    // The full (topology x size) grid of independent simulations runs on
-    // the thread pool; cells come back in grid order, so the table is
-    // identical at any thread count.
-    let nets: Vec<Network> = TopologyChoice::all()
-        .into_iter()
-        .map(|choice| {
-            if args.full {
-                choice.build_small()
-            } else {
-                choice.build_scaled(n)
-            }
-        })
-        .collect();
-    let grid: Vec<(usize, u64)> = (0..nets.len())
-        .flat_map(|ni| sizes.iter().map(move |&s| (ni, s)))
-        .collect();
-    let cells: Vec<Measurement> = timed("fig11 grid", || {
-        grid.par_iter()
-            .map(|&(ni, s)| experiments::alltoall_bandwidth_on(&nets[ni], s, 2, engine))
-            .collect()
-    });
-    for (ni, choice) in TopologyChoice::all().into_iter().enumerate() {
-        print!("{:<24}", choice.name());
-        for (si, _) in sizes.iter().enumerate() {
-            let m = &cells[ni * sizes.len() + si];
-            print!(
-                " {:>9.1}%{}",
-                m.bw_fraction * 100.0,
-                if m.clean { "" } else { "!" }
-            );
-        }
-        println!();
-    }
-    println!(
-        "\nExpected shape (paper): fat tree ~100%, HyperX ~90%, Hx2Mesh ~25% (cut 1/2a=1/4),\n\
-         Hx4Mesh ~12% (1/8), torus worst; small clusters exceed the cut bound slightly\n\
-         because not all traffic crosses the bisection."
-    );
+    let args = hxbench::HarnessArgs::parse();
+    hxbench::run_spec(include_str!("../../../../specs/fig11.toml"), &args);
 }

@@ -1,66 +1,9 @@
 //! Regenerates **Fig. 12**: the distribution of per-accelerator receive
 //! bandwidth under random-permutation traffic, per topology, plus the
-//! cost-per-average-bandwidth ranking.
-
-use hammingmesh::prelude::*;
-use hxbench::{header, timed, HarnessArgs};
-use rayon::prelude::*;
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
-}
+//! cost-per-average-bandwidth ranking. The sweep lives in
+//! `specs/fig12.toml`; this binary just binds it to the shared flag set.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let engine = args.engine();
-    let n = if args.full { 1024 } else { 256 };
-    let bytes = if args.full { 1 << 20 } else { 256 << 10 };
-
-    header(&format!(
-        "Fig. 12 — permutation receive-bandwidth distribution ({n} endpoints, {engine} engine)"
-    ));
-    println!(
-        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>14}",
-        "topology", "p10%", "median%", "p90%", "mean%", "cost/avgBW"
-    );
-    let costs = hammingmesh::hxcost::table2_entries(ClusterSize::Small);
-    let mut ft_cost_per_bw = None;
-    // One independent permutation run per topology: the whole row set
-    // runs on the thread pool, results in topology order.
-    let seed = args.seed;
-    let rows: Vec<Vec<f64>> = timed("fig12 permutations", || {
-        TopologyChoice::all()
-            .into_par_iter()
-            .map(|choice| {
-                let net = if args.full {
-                    choice.build_small()
-                } else {
-                    choice.build_scaled(n)
-                };
-                experiments::permutation_bandwidths_on(&net, bytes, 2, seed, engine)
-            })
-            .collect()
-    });
-    for ((i, choice), mut bw) in TopologyChoice::all().into_iter().enumerate().zip(rows) {
-        bw.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mean = bw.iter().sum::<f64>() / bw.len() as f64;
-        let cost_per_bw = costs[i].cost_musd() / mean.max(1e-9);
-        let rel = *ft_cost_per_bw.get_or_insert(cost_per_bw);
-        println!(
-            "{:<24} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>10.2}x-FT",
-            choice.name(),
-            percentile(&bw, 0.10) * 100.0,
-            percentile(&bw, 0.50) * 100.0,
-            percentile(&bw, 0.90) * 100.0,
-            mean * 100.0,
-            cost_per_bw / rel
-        );
-    }
-    println!(
-        "\nPaper: significant variance across connections on every topology; HxMeshes\n\
-         are among the most cost-effective per unit of average bandwidth."
-    );
+    let args = hxbench::HarnessArgs::parse();
+    hxbench::run_spec(include_str!("../../../../specs/fig12.toml"), &args);
 }

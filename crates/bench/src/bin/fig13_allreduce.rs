@@ -1,80 +1,10 @@
 //! Regenerates **Fig. 13** (large clusters) / **Fig. 17** (small): global
 //! allreduce bandwidth for the "rings" (two bidirectional disjoint
 //! Hamiltonian rings) and "torus" (2D reduce-scatter/allreduce/allgather)
-//! algorithms versus message size, across topologies.
-
-use hammingmesh::prelude::*;
-use hxbench::{fmt_bytes, header, timed, HarnessArgs};
-use rayon::prelude::*;
+//! algorithms versus message size, across topologies. The sweep lives in
+//! `specs/fig13.toml`; this binary just binds it to the shared flag set.
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let engine = args.engine();
-    // Quick scale is 64 endpoints / <=4 MiB: the former 256-endpoint,
-    // 16 MiB quick config ran for minutes in the packet simulator, against
-    // the harness contract that quick mode finishes in seconds.
-    let n = if args.full { 1024 } else { 64 };
-    let sizes: &[u64] = if args.full {
-        &[256 << 10, 1 << 20, 8 << 20, 64 << 20]
-    } else {
-        &[256 << 10, 1 << 20, 4 << 20]
-    };
-
-    header(&format!(
-        "Fig. 13/17 — allreduce bandwidth (share of peak), {n} endpoints, {engine} engine"
-    ));
-    // The (algorithm x topology x size) grid runs on the thread pool;
-    // cells return in grid order, so the tables are identical at any
-    // thread count.
-    let algos = [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D];
-    let nets: Vec<Network> = TopologyChoice::all()
-        .into_iter()
-        .map(|choice| {
-            if args.full {
-                choice.build_small()
-            } else {
-                choice.build_scaled(n)
-            }
-        })
-        .collect();
-    let grid: Vec<(AllreduceAlgo, usize, u64)> = algos
-        .iter()
-        .flat_map(|&algo| {
-            (0..nets.len()).flat_map(move |ni| sizes.iter().map(move |&s| (algo, ni, s)))
-        })
-        .collect();
-    let cells: Vec<Measurement> = timed("fig13 grid", || {
-        grid.par_iter()
-            .map(|&(algo, ni, s)| experiments::allreduce_bandwidth_on(&nets[ni], algo, s, engine))
-            .collect()
-    });
-    let mut cell = 0usize;
-    for algo in algos {
-        println!("\nalgorithm: {algo:?}");
-        print!("{:<24}", "topology");
-        for &s in sizes {
-            print!(" {:>10}", fmt_bytes(s));
-        }
-        println!();
-        for (ni, choice) in TopologyChoice::all().into_iter().enumerate() {
-            print!("{:<24}", choice.name());
-            for &s in sizes {
-                // The print loops must mirror the grid construction order.
-                debug_assert_eq!(grid[cell], (algo, ni, s));
-                let m = &cells[cell];
-                cell += 1;
-                print!(
-                    " {:>9.1}%{}",
-                    m.bw_fraction * 100.0,
-                    if m.clean { "" } else { "!" }
-                );
-            }
-            println!();
-        }
-    }
-    println!(
-        "\nExpected shape (paper): all topologies approach full allreduce bandwidth with\n\
-         the rings algorithm at large messages (Table II: 91-99%); the torus algorithm\n\
-         is ~2x less bandwidth-efficient but wins at small sizes (√p latency)."
-    );
+    let args = hxbench::HarnessArgs::parse();
+    hxbench::run_spec(include_str!("../../../../specs/fig13.toml"), &args);
 }

@@ -1,114 +1,12 @@
 //! Regenerates **Fig. 14**: the reduction-bandwidth sweep — achieved
 //! allreduce bandwidth (share of the S/(inj/2) optimum) as the cluster
 //! *grows*, at a fixed large message size, for the rings and torus
-//! algorithms across the Table II topologies. Complements Fig. 13, which
-//! sweeps message size at a fixed cluster.
-//!
-//! Quick scale sweeps 64 and 256 endpoints at 1 MiB; `--full` adds the
-//! paper's 1,024-endpoint cluster at 8 MiB. `--traces N` caps the sweep
-//! at the first `N` cluster sizes (the smoke suite passes 1), and
-//! `--engine packet|flow` / `--csv PATH` follow the harness conventions.
-
-use hammingmesh::prelude::*;
-use hxbench::{fmt_bytes, header, timed, HarnessArgs};
-use rayon::prelude::*;
-use std::fmt::Write as _;
+//! algorithms. Complements Fig. 13, which sweeps message size at a fixed
+//! cluster. The sweep lives in `specs/fig14.toml`; this binary just binds
+//! it to the shared flag set (`--traces N` caps the cluster-size axis —
+//! the smoke suite passes 1 — and `--csv PATH` records per-cell samples).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let engine = args.engine();
-    let sizes: &[usize] = if args.full {
-        &[64, 256, 1024]
-    } else {
-        &[64, 256]
-    };
-    let cap = args.traces.unwrap_or(sizes.len()).clamp(1, sizes.len());
-    let sizes = &sizes[..cap];
-    let bytes: u64 = if args.full { 8 << 20 } else { 1 << 20 };
-
-    header(&format!(
-        "Fig. 14 — allreduce bandwidth vs cluster size, {} per rank, {engine} engine",
-        fmt_bytes(bytes)
-    ));
-    // Build each (topology, cluster-size) network once, then run the
-    // (algorithm x topology x size) grid on the thread pool. Cells come
-    // back in grid order, so table and CSV are identical at any thread
-    // count.
-    let algos = [AllreduceAlgo::DisjointRings, AllreduceAlgo::Torus2D];
-    let nets: Vec<Vec<Network>> = TopologyChoice::all()
-        .into_iter()
-        .map(|choice| {
-            sizes
-                .iter()
-                .map(|&n| {
-                    if n >= 1024 {
-                        choice.build_small()
-                    } else {
-                        choice.build_scaled(n)
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    let grid: Vec<(AllreduceAlgo, usize, usize)> = algos
-        .iter()
-        .flat_map(|&algo| {
-            (0..nets.len()).flat_map(move |ci| (0..sizes.len()).map(move |si| (algo, ci, si)))
-        })
-        .collect();
-    let cells: Vec<Measurement> = timed("fig14 grid", || {
-        grid.par_iter()
-            .map(|&(algo, ci, si)| {
-                experiments::allreduce_bandwidth_on(&nets[ci][si], algo, bytes, engine)
-            })
-            .collect()
-    });
-
-    let mut csv =
-        String::from("algorithm,topology,engine,endpoints,bytes,bw_fraction,sim_ps,clean\n");
-    let mut cell = 0usize;
-    for algo in algos {
-        println!("\nalgorithm: {algo:?}");
-        print!("{:<24}", "topology");
-        for &n in sizes {
-            print!(" {:>10}", format!("{n} accels"));
-        }
-        println!();
-        for (ci, choice) in TopologyChoice::all().into_iter().enumerate() {
-            print!("{:<24}", choice.name());
-            for si in 0..sizes.len() {
-                // The print loops must mirror the grid construction order.
-                debug_assert_eq!(grid[cell], (algo, ci, si));
-                let m = &cells[cell];
-                cell += 1;
-                print!(
-                    " {:>9.1}%{}",
-                    m.bw_fraction * 100.0,
-                    if m.clean { "" } else { "!" }
-                );
-                writeln!(
-                    csv,
-                    "{algo:?},{},{engine},{},{bytes},{:.4},{},{}",
-                    choice.name(),
-                    nets[ci][si].num_ranks(),
-                    m.bw_fraction,
-                    m.time_ps,
-                    m.clean
-                )
-                .unwrap();
-            }
-            println!();
-        }
-    }
-    if let Some(path) = &args.csv {
-        std::fs::write(path, &csv).expect("write fig14 CSV");
-        eprintln!("[fig14] wrote {}", path.display());
-    }
-    println!(
-        "\nExpected shape (paper): at a fixed message the per-rank chunk shrinks as\n\
-         the cluster grows, so every curve decays with p (the rings' 2pα latency\n\
-         term); HxMesh tracks the fat trees within a constant factor while the\n\
-         torus algorithm holds up better at small chunks (√p latency). Quick\n\
-         scale is latency-tinged by design — `--full` runs the paper's 8 MiB."
-    );
+    let args = hxbench::HarnessArgs::parse();
+    hxbench::run_spec(include_str!("../../../../specs/fig14.toml"), &args);
 }

@@ -4,8 +4,15 @@
 //! DESIGN.md §3 for the index) and prints the same rows/series the paper
 //! reports. By default they run at a reduced scale that finishes in
 //! seconds; pass `--full` for the paper-scale configuration (hours).
+//!
+//! The simulation-sweep binaries (fig10 routed, fig11–fig14) are thin
+//! wrappers over `hxserve` scenario specs under `specs/` — see
+//! [`run_spec`]. The flag table is shared with the `hxserve` CLI
+//! ([`hxserve::cli`]), so `--help` text and strict unknown-flag handling
+//! (exit 2) cannot drift between the two entry points.
 
 use hammingmesh::hxsim::EngineKind;
+use hxserve::cli::{self, COMMON_FLAGS, HARNESS_FLAGS};
 use std::time::Instant;
 
 /// Parsed command line shared by the figure binaries.
@@ -27,8 +34,26 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
+    /// Parse the process arguments. Unknown flags and malformed values
+    /// are hard errors (message on stderr, exit 2); `--help` prints the
+    /// shared flag table and exits 0. A `--threads N` override is applied
+    /// to the sweep pool immediately (flag > `RAYON_NUM_THREADS` env >
+    /// all cores).
     pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let flags = match cli::parse_flags(&argv, &[COMMON_FLAGS, HARNESS_FLAGS]) {
+            Ok((flags, positional)) => {
+                if let Some(p) = positional.first() {
+                    eprintln!("unexpected argument {p:?} (try --help)");
+                    std::process::exit(2);
+                }
+                flags
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
         let mut out = Self {
             full: false,
             traces: None,
@@ -37,49 +62,40 @@ impl HarnessArgs {
             mode: None,
             csv: None,
         };
-        let mut it = args.iter().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--full" => out.full = true,
-                "--traces" => {
-                    out.traces = it.next().and_then(|v| v.parse().ok());
-                }
-                "--seed" => {
-                    out.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(out.seed);
-                }
-                "--mode" => {
-                    out.mode = it.next().cloned();
-                    if out.mode.is_none() {
-                        eprintln!("--mode needs a value");
-                        std::process::exit(2);
-                    }
-                }
-                "--csv" => {
-                    out.csv = it.next().map(std::path::PathBuf::from);
-                    if out.csv.is_none() {
-                        eprintln!("--csv needs a path");
-                        std::process::exit(2);
-                    }
-                }
-                "--engine" => match it.next().map(|v| v.parse::<EngineKind>()) {
-                    Some(Ok(e)) => out.engine = Some(e),
-                    Some(Err(e)) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                    None => {
-                        eprintln!("--engine needs a value (packet|flow)");
-                        std::process::exit(2);
-                    }
-                },
-                "--help" | "-h" => {
-                    eprintln!(
-                        "options: --full  --traces N  --seed S  --engine packet|flow  \
-                         --mode NAME  --csv PATH"
+        let fail = |msg: String| -> ! {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        };
+        for (flag, value) in &flags {
+            let value = value.as_deref().unwrap_or("");
+            match flag.as_str() {
+                "--help" => {
+                    print!(
+                        "{}",
+                        cli::help_text("<figure binary> [options]", &[COMMON_FLAGS, HARNESS_FLAGS])
                     );
                     std::process::exit(0);
                 }
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                "--full" => out.full = true,
+                "--traces" => match value.parse() {
+                    Ok(n) => out.traces = Some(n),
+                    Err(_) => fail(format!("--traces needs an integer, got {value:?}")),
+                },
+                "--seed" => match value.parse() {
+                    Ok(s) => out.seed = s,
+                    Err(_) => fail(format!("--seed needs an integer, got {value:?}")),
+                },
+                "--engine" => match value.parse() {
+                    Ok(e) => out.engine = Some(e),
+                    Err(msg) => fail(msg),
+                },
+                "--threads" => match value.parse::<usize>() {
+                    Ok(n) if n > 0 => cli::apply_threads(n),
+                    _ => fail(format!("--threads needs a positive integer, got {value:?}")),
+                },
+                "--mode" => out.mode = Some(value.to_string()),
+                "--csv" => out.csv = Some(std::path::PathBuf::from(value)),
+                other => fail(format!("unhandled flag {other:?}")),
             }
         }
         out
@@ -95,6 +111,46 @@ impl HarnessArgs {
     /// agreement between the two.
     pub fn engine(&self) -> EngineKind {
         self.engine.unwrap_or(EngineKind::Flow)
+    }
+
+    /// These flags as `hxserve` scenario overrides.
+    pub fn overrides(&self) -> hxserve::Overrides {
+        hxserve::Overrides {
+            full: self.full,
+            traces: self.traces,
+            seed: Some(self.seed),
+            engine: self.engine,
+        }
+    }
+}
+
+/// Run an `hxserve` scenario spec the way the figure binaries do: resolve
+/// it against the parsed flags, execute (uncached — a figure binary is a
+/// from-scratch reproduction by definition), print the table to stdout,
+/// and honor `--csv`. Spec errors exit 2: the committed specs are
+/// validated by `cargo test -p hxserve`, so an error here means a local
+/// edit broke one.
+pub fn run_spec(spec_src: &str, args: &HarnessArgs) {
+    let scenario = match hxserve::Scenario::parse(spec_src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let plan = scenario.resolve(&args.overrides());
+    let result = timed(&format!("{} cells", plan.name), || {
+        hxserve::exec::run(&plan, &hxserve::ExecOptions::default())
+    });
+    print!("{}", hxserve::render::render(&plan, &result.rows));
+    if let Some(path) = &args.csv {
+        if let Some(csv) = hxserve::render::render_csv(&plan, &result.rows) {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[{}] wrote {}", plan.name, path.display());
+        }
     }
 }
 
@@ -115,11 +171,5 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
 
 /// Human-readable byte size for axes.
 pub fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 20 {
-        format!("{}MiB", b >> 20)
-    } else if b >= 1 << 10 {
-        format!("{}KiB", b >> 10)
-    } else {
-        format!("{b}B")
-    }
+    hxserve::render::fmt_bytes(b)
 }

@@ -1,0 +1,118 @@
+//! Byte-identical goldens for the spec-driven figure binaries.
+//!
+//! The stdout (and CSV, where the binary writes one) of every converted
+//! binary was captured at the default seed *before* the hxserve redesign
+//! and committed under `tests/golden/`. The conversion to declarative
+//! scenario specs must not change a single byte of figure output — this
+//! suite is the proof, and it keeps holding as the spec files and the
+//! renderer evolve. Regenerate a golden only when a figure is *meant* to
+//! change, and say so in the commit.
+
+use std::path::Path;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+}
+
+/// Run `exe` with `args` (plus `--csv` when requested); return stdout and
+/// the CSV body.
+fn run(exe: &str, args: &[&str], csv: bool) -> (String, Option<String>) {
+    let csv_path = std::env::temp_dir().join(format!(
+        "hx_golden_{}_{}.csv",
+        std::process::id(),
+        Path::new(exe).file_name().unwrap().to_string_lossy()
+    ));
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    if csv {
+        cmd.args(["--csv", csv_path.to_str().unwrap()]);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let body = csv.then(|| {
+        let b = std::fs::read_to_string(&csv_path).expect("CSV written");
+        std::fs::remove_file(&csv_path).ok();
+        b
+    });
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        body,
+    )
+}
+
+fn assert_matches_golden(exe: &str, args: &[&str], stdout_golden: &str, csv_golden: Option<&str>) {
+    let (stdout, csv) = run(exe, args, csv_golden.is_some());
+    assert_eq!(
+        stdout,
+        golden(stdout_golden),
+        "{exe} {args:?}: stdout drifted from {stdout_golden}"
+    );
+    if let Some(name) = csv_golden {
+        assert_eq!(
+            csv.unwrap(),
+            golden(name),
+            "{exe} {args:?}: CSV drifted from {name}"
+        );
+    }
+}
+
+#[test]
+fn fig11_stdout_matches_pre_redesign_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig11_alltoall"),
+        &[],
+        "fig11.stdout",
+        None,
+    );
+}
+
+#[test]
+fn fig12_stdout_matches_pre_redesign_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig12_permutation"),
+        &[],
+        "fig12.stdout",
+        None,
+    );
+}
+
+#[test]
+fn fig13_stdout_matches_pre_redesign_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig13_allreduce"),
+        &[],
+        "fig13.stdout",
+        None,
+    );
+}
+
+#[test]
+fn fig14_stdout_and_csv_match_pre_redesign_goldens() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig14_reduction_scaling"),
+        &[],
+        "fig14.stdout",
+        Some("fig14.csv"),
+    );
+}
+
+#[test]
+fn fig10_routed_stdout_and_csv_match_pre_redesign_goldens() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig10_failures"),
+        &["--mode", "routed", "--traces", "2", "--engine", "flow"],
+        "fig10_routed.stdout",
+        Some("fig10_routed.csv"),
+    );
+}

@@ -43,6 +43,46 @@ pub enum AllreduceAlgo {
     Torus2D,
 }
 
+impl AllreduceAlgo {
+    /// Stable identifier used by the `hxserve` scenario specs; `"rings"`
+    /// and `"torus"` match the labels Fig. 13 uses for the two headline
+    /// algorithms.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            AllreduceAlgo::Ring => "ring",
+            AllreduceAlgo::BidirRing => "bidir_ring",
+            AllreduceAlgo::DisjointRings => "rings",
+            AllreduceAlgo::Torus2D => "torus",
+        }
+    }
+
+    pub fn all() -> [AllreduceAlgo; 4] {
+        [
+            AllreduceAlgo::Ring,
+            AllreduceAlgo::BidirRing,
+            AllreduceAlgo::DisjointRings,
+            AllreduceAlgo::Torus2D,
+        ]
+    }
+}
+
+impl std::str::FromStr for AllreduceAlgo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AllreduceAlgo::all()
+            .into_iter()
+            .find(|a| a.spec_name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = AllreduceAlgo::all().map(AllreduceAlgo::spec_name).to_vec();
+                format!(
+                    "unknown algorithm {s:?} (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
 /// Grid factorization of `n` ranks for torus-structured algorithms.
 fn near_square_grid(n: usize) -> (usize, usize) {
     let mut r = (n as f64).sqrt() as usize;

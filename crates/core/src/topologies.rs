@@ -29,6 +29,21 @@ impl TopologyChoice {
         ]
     }
 
+    /// Stable machine-readable identifier used by the `hxserve` scenario
+    /// specs ([`std::str::FromStr`] is the inverse).
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            TopologyChoice::FatTree => "fat_tree",
+            TopologyChoice::FatTree50 => "fat_tree_50",
+            TopologyChoice::FatTree75 => "fat_tree_75",
+            TopologyChoice::Dragonfly => "dragonfly",
+            TopologyChoice::HyperX => "hyperx",
+            TopologyChoice::Hx2Mesh => "hx2mesh",
+            TopologyChoice::Hx4Mesh => "hx4mesh",
+            TopologyChoice::Torus => "torus",
+        }
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             TopologyChoice::FatTree => "nonblocking fat tree",
@@ -95,9 +110,36 @@ impl TopologyChoice {
     }
 }
 
+impl std::str::FromStr for TopologyChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopologyChoice::all()
+            .into_iter()
+            .find(|t| t.spec_name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = TopologyChoice::all()
+                    .map(TopologyChoice::spec_name)
+                    .to_vec();
+                format!(
+                    "unknown topology {s:?} (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_names_round_trip() {
+        for t in TopologyChoice::all() {
+            assert_eq!(t.spec_name().parse::<TopologyChoice>(), Ok(t));
+        }
+        assert!("fat-tree".parse::<TopologyChoice>().is_err());
+    }
 
     #[test]
     fn all_scaled_topologies_build_at_256() {

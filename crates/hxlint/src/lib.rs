@@ -465,6 +465,15 @@ mod tests {
             k("crates/hxlint/src/main.rs").map(|c| c.1),
             Some(FileKind::Bin)
         );
+        // The scenario engine is sim-state: its cache and executor feed
+        // simulation results, so D001 applies to all of crates/hxserve.
+        let hxserve = k("crates/hxserve/src/exec.rs").unwrap();
+        assert_eq!(hxserve, ("hxserve".into(), FileKind::Lib));
+        assert!(crate::rules::SIM_STATE_CRATES.contains(&hxserve.0.as_str()));
+        assert_eq!(
+            k("crates/hxserve/src/main.rs"),
+            Some(("hxserve".into(), FileKind::Bin))
+        );
         assert!(classify(Path::new("vendor/rayon/src/lib.rs")).is_none());
         assert!(classify(Path::new("crates/hxlint/tests/fixtures/d001_bad.rs")).is_none());
         assert!(classify(Path::new("Cargo.toml")).is_none());

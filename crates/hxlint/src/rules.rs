@@ -12,7 +12,14 @@ use crate::{FileCx, FileKind};
 /// hash-ordered iteration here can leak `RandomState` into results —
 /// exactly the bug class that nearly sank PR 5's byte-identical-at-any-
 /// thread-count guarantee twice (`BoardMesh::placements`, `defragment()`).
-pub const SIM_STATE_CRATES: &[&str] = &["hxnet", "hxsim", "hxalloc", "hxcluster", "hxcollect"];
+pub const SIM_STATE_CRATES: &[&str] = &[
+    "hxnet",
+    "hxsim",
+    "hxalloc",
+    "hxcluster",
+    "hxcollect",
+    "hxserve",
+];
 
 /// One catalog entry, also rendered by `--list-rules` and the README.
 pub struct RuleInfo {
@@ -26,7 +33,8 @@ pub const RULES: &[RuleInfo] = &[
         code: "D001",
         summary: "no HashMap/HashSet in sim-state crates: hash iteration order is per-process \
                   (RandomState) and leaks into simulation state; use BTreeMap/BTreeSet",
-        scope: "all code in sim-state crates (hxnet, hxsim, hxalloc, hxcluster, hxcollect)",
+        scope: "all code in sim-state crates (hxnet, hxsim, hxalloc, hxcluster, hxcollect, \
+                hxserve)",
     },
     RuleInfo {
         code: "D002",

@@ -499,6 +499,19 @@ impl Network {
         self.fail_while_connected(&pool, want)
     }
 
+    /// The shared failure-draw recipe of the Fig. 10 routed sweep and the
+    /// `hxserve` scenario service: draw `want` random
+    /// connectivity-preserving cable failures from an RNG derived from
+    /// `(seed, draw)`, so draw `t` produces the same failure set on every
+    /// thread count, machine, and caller. Returns the number actually
+    /// failed, like [`Network::fail_random_cables`].
+    pub fn fail_random_cables_drawn(&mut self, want: usize, seed: u64, draw: u64) -> usize {
+        use rand::SeedableRng;
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ draw.wrapping_mul(0x9E3779B97F4A7C15));
+        self.fail_random_cables(want, &mut rng)
+    }
+
     /// Deterministic sibling of [`Network::fail_random_cables`]: scans the
     /// cable list in strided order so the failures spread across the
     /// machine, rolling back disconnecting draws the same way.

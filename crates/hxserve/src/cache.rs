@@ -1,0 +1,237 @@
+//! The content-addressed cell cache.
+//!
+//! A completed cell is stored as one small text record under the cache
+//! directory, named by a 64-bit FNV-1a key over `(CACHE_VERSION, the
+//! verbatim spec source, the cell descriptor, the failure-set
+//! fingerprint)`. Byte-identical specs therefore hit across runs, and a
+//! one-character spec edit — whitespace included — misses everything: the
+//! spec *file* is the unit of trust, so there is no risk of serving a
+//! result computed under semantics the edit changed. CLI overrides
+//! (`--seed`, `--engine`, `--full`) flow into the descriptor through the
+//! resolved cell, so they key naturally too.
+//!
+//! Records embed the descriptor and are verified on load: a key collision
+//! degrades to a cache miss, never a wrong answer. Floats are stored as
+//! `f64::to_bits` hex so a round-trip is exact and warm output stays
+//! byte-identical to cold output. Writes go to a per-process temp file
+//! first and are `rename`d into place, so concurrent runs sharing a cache
+//! directory never observe a torn record.
+
+use crate::exec::{BwCell, CellOutput, NetInfo};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump when record semantics change (fields, simulation meaning): a new
+/// version orphans every old record rather than misreading it.
+pub const CACHE_VERSION: u32 = 1;
+
+const MAGIC: &str = "hxserve-cell v1";
+
+/// One cached cell: what [`load`] returns and [`store`] persists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheRecord {
+    /// [`crate::spec::CellSpec::descriptor`] of the producing cell;
+    /// verified on load so collisions can't cross-serve.
+    pub descriptor: String,
+    pub net: NetInfo,
+    pub output: CellOutput,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// The cache key for one cell. `0xFF` separators keep the parts
+/// unambiguous (a lone `0xFF` byte cannot occur inside UTF-8 text).
+pub fn cell_key(spec_src: &str, descriptor: &str, failure_set_id: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a(&mut h, &CACHE_VERSION.to_le_bytes());
+    fnv1a(&mut h, spec_src.as_bytes());
+    fnv1a(&mut h, &[0xFF]);
+    fnv1a(&mut h, descriptor.as_bytes());
+    fnv1a(&mut h, &[0xFF]);
+    fnv1a(&mut h, &failure_set_id.to_le_bytes());
+    h
+}
+
+fn record_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.cell"))
+}
+
+/// Load the record stored under `key`, or `None` on any miss: no file, a
+/// torn/unparseable body, or a descriptor mismatch (hash collision).
+pub fn load(dir: &Path, key: u64, descriptor: &str) -> Option<CacheRecord> {
+    let body = std::fs::read_to_string(record_path(dir, key)).ok()?;
+    let rec = parse_record(&body)?;
+    (rec.descriptor == descriptor).then_some(rec)
+}
+
+/// Persist a record under `key` (atomic: temp file + rename).
+pub fn store(dir: &Path, key: u64, rec: &CacheRecord) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".tmp-{key:016x}-{}", std::process::id()));
+    std::fs::write(&tmp, serialize_record(rec))?;
+    std::fs::rename(&tmp, record_path(dir, key))
+}
+
+fn serialize_record(rec: &CacheRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "descriptor={}", rec.descriptor);
+    let _ = writeln!(out, "net_name={}", rec.net.name);
+    let _ = writeln!(out, "net_ranks={}", rec.net.ranks);
+    let _ = writeln!(out, "net_endpoints={}", rec.net.endpoints);
+    let _ = writeln!(out, "net_cables={}", rec.net.cables);
+    match &rec.output {
+        CellOutput::Bandwidth(b) => {
+            let _ = writeln!(out, "kind=bandwidth");
+            let _ = writeln!(out, "bw_bits={:016x}", b.bw_fraction.to_bits());
+            let _ = writeln!(out, "time_ps={}", b.time_ps);
+            let _ = writeln!(out, "clean={}", b.clean);
+        }
+        CellOutput::Distribution(samples) => {
+            let _ = writeln!(out, "kind=distribution");
+            let hex: Vec<String> = samples
+                .iter()
+                .map(|s| format!("{:016x}", s.to_bits()))
+                .collect();
+            let _ = writeln!(out, "samples={}", hex.join(","));
+        }
+    }
+    out
+}
+
+fn parse_record(body: &str) -> Option<CacheRecord> {
+    let mut lines = body.lines();
+    if lines.next() != Some(MAGIC) {
+        return None;
+    }
+    let mut get = |want: &str| -> Option<String> {
+        let (k, v) = lines.next()?.split_once('=')?;
+        (k == want).then(|| v.to_string())
+    };
+    let descriptor = get("descriptor")?;
+    let net = NetInfo {
+        name: get("net_name")?,
+        ranks: get("net_ranks")?.parse().ok()?,
+        endpoints: get("net_endpoints")?.parse().ok()?,
+        cables: get("net_cables")?.parse().ok()?,
+    };
+    let output = match get("kind")?.as_str() {
+        "bandwidth" => CellOutput::Bandwidth(BwCell {
+            bw_fraction: f64::from_bits(u64::from_str_radix(&get("bw_bits")?, 16).ok()?),
+            time_ps: get("time_ps")?.parse().ok()?,
+            clean: match get("clean")?.as_str() {
+                "true" => true,
+                "false" => false,
+                _ => return None,
+            },
+        }),
+        "distribution" => {
+            let raw = get("samples")?;
+            let samples = if raw.is_empty() {
+                Vec::new()
+            } else {
+                raw.split(',')
+                    .map(|s| u64::from_str_radix(s, 16).ok().map(f64::from_bits))
+                    .collect::<Option<Vec<f64>>>()?
+            };
+            CellOutput::Distribution(samples)
+        }
+        _ => return None,
+    };
+    Some(CacheRecord {
+        descriptor,
+        net,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(desc: &str, output: CellOutput) -> CacheRecord {
+        CacheRecord {
+            descriptor: desc.to_string(),
+            net: NetInfo {
+                name: "Dragonfly a=4 p=2 h=2 g=8".into(),
+                ranks: 270,
+                endpoints: 270,
+                cables: 144,
+            },
+            output,
+        }
+    }
+
+    #[test]
+    fn bandwidth_records_round_trip_bit_exactly() {
+        let rec = sample_record(
+            "topo=dragonfly;x=1",
+            CellOutput::Bandwidth(BwCell {
+                bw_fraction: 0.1 + 0.2, // a value with no short decimal form
+                time_ps: 41_527_680,
+                clean: true,
+            }),
+        );
+        let back = parse_record(&serialize_record(&rec)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn distribution_records_round_trip() {
+        let rec = sample_record(
+            "topo=hx2mesh;x=2",
+            CellOutput::Distribution(vec![0.25, 1.0 / 3.0, f64::MIN_POSITIVE]),
+        );
+        let back = parse_record(&serialize_record(&rec)).unwrap();
+        assert_eq!(back, rec);
+        let empty = sample_record("d", CellOutput::Distribution(Vec::new()));
+        assert_eq!(parse_record(&serialize_record(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn store_and_load_hit_then_collision_misses() {
+        let dir = std::env::temp_dir().join(format!("hxserve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = sample_record(
+            "topo=torus;x=3",
+            CellOutput::Bandwidth(BwCell {
+                bw_fraction: 0.5,
+                time_ps: 1,
+                clean: true,
+            }),
+        );
+        let key = cell_key("spec body", &rec.descriptor, 0);
+        store(&dir, key, &rec).unwrap();
+        assert_eq!(load(&dir, key, &rec.descriptor), Some(rec.clone()));
+        // Same key, different descriptor: a collision must read as a miss.
+        assert_eq!(load(&dir, key, "topo=other"), None);
+        // Unknown key: plain miss.
+        assert_eq!(load(&dir, key ^ 1, &rec.descriptor), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_is_sensitive_to_every_component() {
+        let base = cell_key("spec", "desc", 7);
+        assert_ne!(base, cell_key("spec ", "desc", 7), "spec byte change");
+        assert_ne!(base, cell_key("spec", "desc2", 7), "descriptor change");
+        assert_ne!(base, cell_key("spec", "desc", 8), "failure set change");
+        assert_eq!(base, cell_key("spec", "desc", 7), "deterministic");
+    }
+
+    #[test]
+    fn torn_or_foreign_files_read_as_misses() {
+        assert_eq!(parse_record(""), None);
+        assert_eq!(parse_record("hxserve-cell v0\ndescriptor=d\n"), None);
+        assert_eq!(
+            parse_record("hxserve-cell v1\ndescriptor=d\nnet_name=x\n"),
+            None
+        );
+    }
+}

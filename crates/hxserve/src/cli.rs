@@ -1,0 +1,198 @@
+//! The shared flag table and strict parser behind both CLIs: the
+//! `hxserve` binary and the figure harness (`hxbench::HarnessArgs`).
+//!
+//! One table, two consumers — so `--help` output, value metavars, and the
+//! "unknown flag" behavior (exit 2, no silent ignoring) can never drift
+//! between the scenario service and the fifteen figure binaries.
+
+/// One flag: name, optional value metavar, help line.
+pub struct FlagSpec {
+    /// Including the leading dashes (`"--seed"`).
+    pub name: &'static str,
+    /// `Some(metavar)` if the flag consumes the following argument.
+    pub value: Option<&'static str>,
+    pub help: &'static str,
+}
+
+/// Flags every sweep consumer takes (figure binaries and `hxserve`).
+pub const COMMON_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--full",
+        value: None,
+        help: "run the paper-scale configuration instead of the quick default",
+    },
+    FlagSpec {
+        name: "--traces",
+        value: Some("N"),
+        help: "override the spec's trace count (draws or cluster-size cap, per spec)",
+    },
+    FlagSpec {
+        name: "--seed",
+        value: Some("S"),
+        help: "RNG seed (default 12648430 = 0xC0FFEE)",
+    },
+    FlagSpec {
+        name: "--engine",
+        value: Some("packet|flow"),
+        help: "simulation backend override (default: flow)",
+    },
+    FlagSpec {
+        name: "--threads",
+        value: Some("N"),
+        help: "sweep-pool worker threads; overrides RAYON_NUM_THREADS (default: all cores)",
+    },
+];
+
+/// Extra flags of the figure harness only.
+pub const HARNESS_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--mode",
+        value: Some("NAME"),
+        help: "figure-specific sub-mode (fig10_failures: board|routed)",
+    },
+    FlagSpec {
+        name: "--csv",
+        value: Some("PATH"),
+        help: "also write the printed table as CSV to PATH",
+    },
+];
+
+/// Extra flags of the `hxserve` binary only.
+pub const SERVE_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--format",
+        value: Some("jsonl|csv|table"),
+        help: "output format (default: jsonl)",
+    },
+    FlagSpec {
+        name: "--cache-dir",
+        value: Some("PATH"),
+        help: "cell cache directory (default: target/hxserve-cache)",
+    },
+    FlagSpec {
+        name: "--no-cache",
+        value: None,
+        help: "disable the cell cache (always recompute, write nothing)",
+    },
+    FlagSpec {
+        name: "--stats",
+        value: Some("PATH"),
+        help: "write a JSON run summary (cells, cache hits/misses) to PATH",
+    },
+];
+
+/// Recognized `(flag, value)` pairs in argument order.
+pub type ParsedFlags = Vec<(String, Option<String>)>;
+
+/// Parse `args` against the given flag tables. Returns the recognized
+/// `(flag, value)` pairs in order plus the positional arguments.
+/// `--help`/`-h` is always recognized (returned as a `"--help"` pair).
+/// Unknown flags and flags missing their value are errors — callers print
+/// the message and exit 2.
+pub fn parse_flags(
+    args: &[String],
+    tables: &[&[FlagSpec]],
+) -> Result<(ParsedFlags, Vec<String>), String> {
+    let mut flags: ParsedFlags = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            flags.push(("--help".to_string(), None));
+            continue;
+        }
+        if let Some(spec) = tables.iter().flat_map(|t| t.iter()).find(|s| s.name == a) {
+            let value = match spec.value {
+                Some(metavar) => match it.next() {
+                    Some(v) => Some(v.clone()),
+                    None => return Err(format!("{a} needs a value ({metavar})")),
+                },
+                None => None,
+            };
+            flags.push((a.clone(), value));
+        } else if a.starts_with('-') && a.len() > 1 {
+            return Err(format!("unknown flag {a:?} (try --help)"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+/// Render the `--help` text for a usage line and a set of flag tables.
+pub fn help_text(usage: &str, tables: &[&[FlagSpec]]) -> String {
+    let mut out = format!("usage: {usage}\n\noptions:\n");
+    for spec in tables.iter().flat_map(|t| t.iter()) {
+        let left = match spec.value {
+            Some(metavar) => format!("{} {metavar}", spec.name),
+            None => spec.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<26} {}\n", spec.help));
+    }
+    out
+}
+
+/// Apply a `--threads N` override by setting `RAYON_NUM_THREADS`, which
+/// the vendored pool re-reads on every parallel call. Precedence:
+/// `--threads` flag > inherited `RAYON_NUM_THREADS` > all cores.
+pub fn apply_threads(n: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn recognized_flags_and_positionals() {
+        let (flags, pos) = parse_flags(
+            &argv(&["--full", "specs/a.toml", "--seed", "7", "b.toml"]),
+            &[COMMON_FLAGS],
+        )
+        .unwrap();
+        assert_eq!(
+            flags,
+            vec![
+                ("--full".to_string(), None),
+                ("--seed".to_string(), Some("7".to_string()))
+            ]
+        );
+        assert_eq!(pos, argv(&["specs/a.toml", "b.toml"]));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_flags(&argv(&["--frobnicate"]), &[COMMON_FLAGS]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        // A flag from a table not passed in is unknown to this consumer.
+        let err = parse_flags(&argv(&["--format", "csv"]), &[COMMON_FLAGS]).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_flags(&argv(&["--seed"]), &[COMMON_FLAGS]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn help_is_always_recognized() {
+        for h in ["--help", "-h"] {
+            let (flags, _) = parse_flags(&argv(&[h]), &[COMMON_FLAGS]).unwrap();
+            assert_eq!(flags[0].0, "--help");
+        }
+    }
+
+    #[test]
+    fn help_text_lists_every_flag() {
+        let text = help_text("prog [options]", &[COMMON_FLAGS, HARNESS_FLAGS]);
+        for spec in COMMON_FLAGS.iter().chain(HARNESS_FLAGS) {
+            assert!(text.contains(spec.name), "missing {}", spec.name);
+        }
+        assert!(text.starts_with("usage: prog [options]\n"));
+    }
+}

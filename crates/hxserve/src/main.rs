@@ -1,0 +1,192 @@
+//! The `hxserve` CLI: run declarative scenario specs.
+//!
+//! ```text
+//! hxserve run   specs/fig11.toml --format table
+//! hxserve batch specs/*.toml --stats stats.json
+//! ```
+//!
+//! Rows stream as cells complete (in deterministic cell order); repeated
+//! runs over unchanged specs are served from the cell cache and emit
+//! byte-identical output.
+
+use hxserve::cli::{self, COMMON_FLAGS, SERVE_FLAGS};
+use hxserve::{exec, render, ExecOptions, Overrides, Scenario};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Jsonl,
+    Csv,
+    Table,
+}
+
+struct ServeArgs {
+    overrides: Overrides,
+    format: Format,
+    cache_dir: Option<PathBuf>,
+    stats: Option<PathBuf>,
+    specs: Vec<PathBuf>,
+}
+
+fn usage() -> String {
+    cli::help_text(
+        "hxserve <run|batch> <spec.toml>... [options]",
+        &[COMMON_FLAGS, SERVE_FLAGS],
+    )
+}
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("hxserve: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+fn parse_cli() -> ServeArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        fail_usage("missing command");
+    };
+    if command == "--help" || command == "-h" {
+        print!("{}", usage());
+        std::process::exit(0);
+    }
+    if command != "run" && command != "batch" {
+        fail_usage(&format!(
+            "unknown command {command:?} (expected run or batch)"
+        ));
+    }
+    let (flags, positional) = match cli::parse_flags(&argv[1..], &[COMMON_FLAGS, SERVE_FLAGS]) {
+        Ok(parsed) => parsed,
+        Err(msg) => fail_usage(&msg),
+    };
+    let mut out = ServeArgs {
+        overrides: Overrides::default(),
+        format: Format::Jsonl,
+        cache_dir: Some(PathBuf::from("target/hxserve-cache")),
+        stats: None,
+        specs: positional.iter().map(PathBuf::from).collect(),
+    };
+    let mut no_cache = false;
+    for (flag, value) in &flags {
+        let value = value.as_deref().unwrap_or("");
+        match flag.as_str() {
+            "--help" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            "--full" => out.overrides.full = true,
+            "--traces" => match value.parse() {
+                Ok(n) => out.overrides.traces = Some(n),
+                Err(_) => fail_usage(&format!("--traces needs an integer, got {value:?}")),
+            },
+            "--seed" => match value.parse() {
+                Ok(s) => out.overrides.seed = Some(s),
+                Err(_) => fail_usage(&format!("--seed needs an integer, got {value:?}")),
+            },
+            "--engine" => match value.parse() {
+                Ok(e) => out.overrides.engine = Some(e),
+                Err(msg) => fail_usage(&msg),
+            },
+            "--threads" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => cli::apply_threads(n),
+                _ => fail_usage(&format!(
+                    "--threads needs a positive integer, got {value:?}"
+                )),
+            },
+            "--format" => {
+                out.format = match value {
+                    "jsonl" => Format::Jsonl,
+                    "csv" => Format::Csv,
+                    "table" => Format::Table,
+                    other => fail_usage(&format!(
+                        "unknown format {other:?} (expected jsonl, csv, table)"
+                    )),
+                }
+            }
+            "--cache-dir" => out.cache_dir = Some(PathBuf::from(value)),
+            "--no-cache" => no_cache = true,
+            "--stats" => out.stats = Some(PathBuf::from(value)),
+            other => fail_usage(&format!("unhandled flag {other:?}")),
+        }
+    }
+    if no_cache {
+        out.cache_dir = None;
+    }
+    match (command.as_str(), out.specs.len()) {
+        ("run", 1) => {}
+        ("run", n) => fail_usage(&format!("run takes exactly one spec, got {n}")),
+        ("batch", 0) => fail_usage("batch needs at least one spec"),
+        _ => {}
+    }
+    out
+}
+
+fn main() {
+    let args = parse_cli();
+    let opts = ExecOptions {
+        cache_dir: args.cache_dir.clone(),
+    };
+    let stdout = std::io::stdout();
+    let mut total_cells = 0usize;
+    let mut total_hits = 0usize;
+    let mut total_misses = 0usize;
+    for path in &args.specs {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("hxserve: cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let scenario = match Scenario::parse(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hxserve: {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let plan = scenario.resolve(&args.overrides);
+        let mut lock = stdout.lock();
+        if args.format == Format::Csv {
+            if let Some(header) = render::csv_header(plan.style) {
+                let _ = writeln!(lock, "{header}");
+            }
+        }
+        let result = exec::run_with(&plan, &opts, |row| match args.format {
+            Format::Jsonl => {
+                let _ = writeln!(lock, "{}", render::jsonl_row(&plan, row));
+            }
+            Format::Csv => {
+                if let Some(line) = render::csv_row(plan.style, row) {
+                    let _ = writeln!(lock, "{line}");
+                }
+            }
+            Format::Table => {}
+        });
+        if args.format == Format::Table {
+            let _ = write!(lock, "{}", render::render(&plan, &result.rows));
+        }
+        drop(lock);
+        eprintln!(
+            "[hxserve] {}: {} cells ({} cached, {} computed)",
+            plan.name,
+            result.rows.len(),
+            result.cache_hits,
+            result.cache_misses
+        );
+        total_cells += result.rows.len();
+        total_hits += result.cache_hits;
+        total_misses += result.cache_misses;
+    }
+    if let Some(path) = &args.stats {
+        let body = format!(
+            "{{\"specs\":{},\"cells\":{total_cells},\"cache_hits\":{total_hits},\"cache_misses\":{total_misses}}}\n",
+            args.specs.len()
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("hxserve: cannot write stats {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
