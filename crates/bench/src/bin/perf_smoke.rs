@@ -20,6 +20,8 @@
 use hammingmesh::hxalloc::experiments::{
     fig8_strategies, fig8_utilization, fig9_upper_traffic, Distribution,
 };
+use hammingmesh::hxsim::apps::Alltoall;
+use hammingmesh::hxsim::SimStats;
 use hammingmesh::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -148,6 +150,8 @@ fn main() {
         &ar_packet,
         &ar_flow,
     );
+    json.push_str(",\n");
+    json_flow_scale(&mut json, quick);
     json.push_str("\n  }\n}\n");
     let json_path = out_dir.join("BENCH_sim.json");
     std::fs::write(&json_path, &json).expect("write BENCH_sim.json");
@@ -210,6 +214,90 @@ fn main() {
     eprintln!("[perf_smoke] wrote {}", p.display());
 
     write_bench_par(&out_dir, quick);
+}
+
+/// ROADMAP item 1's scale gate: a Table-II-scale Hx4Mesh alltoall on one
+/// core of the flow engine. The alltoall is shift-capped
+/// ([`Alltoall::with_shifts`]) so the message count stays CI-sized
+/// (16384 ranks × 8 shifts ≈ 131k messages; the untruncated pattern
+/// would be 2.7·10⁸), while each shift remains a full permutation of the
+/// uniform all-pairs traffic. Records wall-clock, the solver-effort
+/// split from [`SimStats`], and the share of recompute epochs the
+/// O(affected) incremental solver kept component-scoped — CI gates that
+/// share at ≥ 0.9 and the wall-clock under the step budget. `--quick`
+/// shrinks to 1024 endpoints so the debug-profile smoke tests stay fast.
+fn json_flow_scale(out: &mut String, quick: bool) {
+    let (endpoints, shifts, bytes): (usize, u32, u64) = if quick {
+        (1024, 4, 64 << 10)
+    } else {
+        (16384, 8, 64 << 10)
+    };
+    eprintln!("[perf_smoke] flow_scale: Hx4Mesh {endpoints} endpoints, {shifts} shifts");
+    let net = TopologyChoice::Hx4Mesh.build_scaled(endpoints);
+    // Window 1: one in-flight shift per rank. Deeper windows overlap
+    // consecutive permutations, and the overlap flows chain accelerator
+    // rows into one giant sharing component — which turns nearly every
+    // epoch into a full refill and defeats the O(affected) solver this
+    // step exists to measure.
+    let mut app = Alltoall::with_shifts(endpoints, bytes, 1, shifts);
+    #[allow(clippy::disallowed_methods)] // wall-clock is this bin's product
+    let t0 = Instant::now();
+    let stats: SimStats = FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let messages = endpoints as u64 * shifts as u64;
+    let comp_share =
+        stats.rate_recomputes_component as f64 / (stats.rate_recomputes as f64).max(1.0);
+    eprintln!(
+        "[perf_smoke] flow_scale: {messages} messages in {wall_s:.2}s, \
+         {} recompute epochs ({} full, {} component -> {:.1}% component-scoped)",
+        stats.rate_recomputes,
+        stats.rate_recomputes_full,
+        stats.rate_recomputes_component,
+        100.0 * comp_share
+    );
+    assert!(stats.clean(), "flow_scale run did not complete: {stats:?}");
+    writeln!(out, "    \"flow_scale\": {{").unwrap();
+    writeln!(
+        out,
+        "      \"scenario\": \"shift-capped alltoall, Hx4Mesh {endpoints} endpoints, \
+         {shifts} shifts x {}/pair, flow engine, 1 core\",",
+        hxbench::fmt_bytes(bytes)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      \"endpoints\": {endpoints}, \"shifts\": {shifts}, \"messages\": {messages},"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      \"flow\": {{\"wall_s\": {wall_s:.4}, \"sim_ps\": {}, \"clean\": {}}},",
+        stats.finish_ps,
+        stats.clean()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      \"rate_recomputes\": {}, \"rate_recomputes_full\": {}, \
+         \"rate_recomputes_component\": {}, \"rate_touched_flows\": {},",
+        stats.rate_recomputes,
+        stats.rate_recomputes_full,
+        stats.rate_recomputes_component,
+        stats.rate_touched_flows
+    )
+    .unwrap();
+    writeln!(out, "      \"component_fill_share\": {comp_share:.4},").unwrap();
+    // The wall budget is generous against the measured time (see
+    // BENCH_sim.json in-tree) so CI noise cannot flake the gate; the
+    // component-share gate is the real O(affected) regression tripwire.
+    writeln!(
+        out,
+        "      \"gate\": {{\"min_component_share\": 0.9, \"max_wall_s\": 120.0, \
+         \"enforced\": {}}}",
+        !quick
+    )
+    .unwrap();
+    out.push_str("    }");
 }
 
 /// Benchmark the thread pool under the rayon shim: the Fig. 8 and Fig. 9

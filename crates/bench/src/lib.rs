@@ -93,6 +93,10 @@ impl HarnessArgs {
                     Ok(n) if n > 0 => cli::apply_threads(n),
                     _ => fail(format!("--threads needs a positive integer, got {value:?}")),
                 },
+                "--rates" => match value.parse() {
+                    Ok(m) => cli::apply_rates(m),
+                    Err(msg) => fail(msg),
+                },
                 "--mode" => out.mode = Some(value.to_string()),
                 "--csv" => out.csv = Some(std::path::PathBuf::from(value)),
                 other => fail(format!("unhandled flag {other:?}")),

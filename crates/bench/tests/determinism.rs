@@ -126,6 +126,39 @@ fn fig13_allreduce_is_thread_count_invariant() {
     assert_thread_count_invariant(env!("CARGO_BIN_EXE_fig13_allreduce"), &[], false);
 }
 
+/// The incremental max-min solver through the full driver stack: fig11
+/// under `--rates incremental` must be thread-count invariant like every
+/// other sweep, and — the differential suite's bitwise-equivalence claim,
+/// held end to end at the stdout level — switching the solver to
+/// `--rates full` must not change a single byte of the printed table.
+#[test]
+fn fig11_alltoall_is_rate_solver_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig11_alltoall");
+    assert_thread_count_invariant(exe, &["--rates", "incremental"], false);
+    let (inc, _) = run(exe, &["--rates", "incremental"], 1, false);
+    let (full, _) = run(exe, &["--rates", "full"], 1, false);
+    assert!(
+        inc == full,
+        "fig11: stdout differs between --rates incremental and --rates full\n\
+         --- incremental ---\n{}\n--- full ---\n{}",
+        String::from_utf8_lossy(&inc),
+        String::from_utf8_lossy(&full),
+    );
+}
+
+/// Same two properties for fig13, the headline allreduce grid.
+#[test]
+fn fig13_allreduce_is_rate_solver_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig13_allreduce");
+    assert_thread_count_invariant(exe, &["--rates", "incremental"], false);
+    let (inc, _) = run(exe, &["--rates", "incremental"], 1, false);
+    let (full, _) = run(exe, &["--rates", "full"], 1, false);
+    assert!(
+        inc == full,
+        "fig13: stdout differs between --rates incremental and --rates full",
+    );
+}
+
 /// The reduction-scaling grid (algorithm x topology; `--traces 1` caps
 /// the sweep at the 64-endpoint cluster size so the debug-profile run
 /// stays a smoke test — the grid indexing under test is identical).

@@ -41,6 +41,12 @@ pub const COMMON_FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "sweep-pool worker threads; overrides RAYON_NUM_THREADS (default: all cores)",
     },
+    FlagSpec {
+        name: "--rates",
+        value: Some("full|incremental"),
+        help: "flow-engine max-min solver scope; bitwise-equivalent, full is the \
+               reference for differential tests (default: incremental)",
+    },
 ];
 
 /// Extra flags of the figure harness only.
@@ -137,6 +143,20 @@ pub fn help_text(usage: &str, tables: &[&[FlagSpec]]) -> String {
 /// `--threads` flag > inherited `RAYON_NUM_THREADS` > all cores.
 pub fn apply_threads(n: usize) {
     std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+}
+
+/// Apply a `--rates full|incremental` override by setting `HX_RATES`,
+/// which `hxsim::SimConfig::default()` resolves via
+/// `hxsim::RateMode::from_env()` — the sweep drivers construct their
+/// `SimConfig`s internally, so the env var is the one channel that
+/// reaches every simulation a process runs. Precedence: `--rates` flag >
+/// inherited `HX_RATES` > incremental.
+pub fn apply_rates(mode: hammingmesh::hxsim::RateMode) {
+    let name = match mode {
+        hammingmesh::hxsim::RateMode::Full => "full",
+        hammingmesh::hxsim::RateMode::Incremental => "incremental",
+    };
+    std::env::set_var("HX_RATES", name);
 }
 
 #[cfg(test)]

@@ -94,6 +94,10 @@ fn parse_cli() -> ServeArgs {
                     "--threads needs a positive integer, got {value:?}"
                 )),
             },
+            "--rates" => match value.parse() {
+                Ok(m) => cli::apply_rates(m),
+                Err(msg) => fail_usage(&msg),
+            },
             "--format" => {
                 out.format = match value {
                     "jsonl" => Format::Jsonl,

@@ -77,7 +77,7 @@ fn stat(stats: &str, field: &str) -> usize {
         .unwrap()
 }
 
-fn run_batch(dir: &Workdir, pass: &str) -> (Vec<u8>, String) {
+fn run_batch(dir: &Workdir, pass: &str, extra: &[&str]) -> (Vec<u8>, String) {
     let stats_path = dir.path(&format!("stats_{pass}.json"));
     let out = Command::new(env!("CARGO_BIN_EXE_hxserve"))
         .arg("batch")
@@ -85,6 +85,7 @@ fn run_batch(dir: &Workdir, pass: &str) -> (Vec<u8>, String) {
         .arg(dir.path("b.toml"))
         .args(["--cache-dir", dir.path("cache").to_str().unwrap()])
         .args(["--stats", stats_path.to_str().unwrap()])
+        .args(extra)
         .output()
         .expect("spawn hxserve");
     assert!(
@@ -103,14 +104,14 @@ fn second_batch_pass_is_cached_and_byte_identical() {
     std::fs::write(dir.path("a.toml"), SPEC_A).unwrap();
     std::fs::write(dir.path("b.toml"), SPEC_B).unwrap();
 
-    let (cold_out, cold_stats) = run_batch(&dir, "cold");
+    let (cold_out, cold_stats) = run_batch(&dir, "cold", &[]);
     assert_eq!(stat(&cold_stats, "specs"), 2);
     let cells = stat(&cold_stats, "cells");
     assert_eq!(cells, 2 * 2 + 2, "grid 2x2 plus two allreduce cells");
     assert_eq!(stat(&cold_stats, "cache_hits"), 0);
     assert_eq!(stat(&cold_stats, "cache_misses"), cells);
 
-    let (warm_out, warm_stats) = run_batch(&dir, "warm");
+    let (warm_out, warm_stats) = run_batch(&dir, "warm", &[]);
     let hits = stat(&warm_stats, "cache_hits");
     assert!(
         hits * 10 >= cells * 9,
@@ -125,6 +126,34 @@ fn second_batch_pass_is_cached_and_byte_identical() {
     assert_eq!(body.lines().count(), cells);
     assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
     assert!(!body.contains("cached"));
+}
+
+/// The cell cache key deliberately excludes the max-min solver mode:
+/// `--rates full` and `--rates incremental` are proven bitwise-equivalent
+/// (tests/flow_incremental_equiv.rs), so cells computed under one mode
+/// are valid hits under the other. A cold pass with the full solver
+/// followed by a warm pass with the incremental solver must behave
+/// exactly like a same-mode re-run: >=90% hits, byte-identical JSONL.
+#[test]
+fn rate_solver_switch_keeps_cache_warm() {
+    let dir = Workdir::new("rates");
+    std::fs::write(dir.path("a.toml"), SPEC_A).unwrap();
+    std::fs::write(dir.path("b.toml"), SPEC_B).unwrap();
+
+    let (cold_out, cold_stats) = run_batch(&dir, "cold", &["--rates", "full"]);
+    let cells = stat(&cold_stats, "cells");
+    assert_eq!(stat(&cold_stats, "cache_hits"), 0);
+
+    let (warm_out, warm_stats) = run_batch(&dir, "warm", &["--rates", "incremental"]);
+    let hits = stat(&warm_stats, "cache_hits");
+    assert!(
+        hits * 10 >= cells * 9,
+        "solver switch must not cool the cache: {hits}/{cells} hits"
+    );
+    assert_eq!(
+        warm_out, cold_out,
+        "incremental warm pass must replay the full-solver cold pass byte for byte"
+    );
 }
 
 #[test]

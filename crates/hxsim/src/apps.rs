@@ -45,6 +45,9 @@ pub struct Alltoall {
     p: u32,
     bytes: u64,
     window: u32,
+    /// Iterations (shifts) each rank performs; `p - 1` for the full
+    /// alltoall, less for a shift-capped scale benchmark.
+    shifts: u32,
     /// Next iteration index per rank.
     next_iter: Vec<u32>,
     pub done_ranks: u32,
@@ -53,10 +56,22 @@ pub struct Alltoall {
 
 impl Alltoall {
     pub fn new(p: usize, bytes: u64, window: u32) -> Self {
+        Self::with_shifts(p, bytes, window, p as u32 - 1)
+    }
+
+    /// An alltoall truncated to the first `shifts` of its `p - 1`
+    /// balanced-shift iterations: in iteration `i`, rank `j` still sends
+    /// to `(j + i + 1) mod p`, so every iteration is a full permutation
+    /// and the traffic keeps the alltoall's uniform all-pairs character —
+    /// there is just less of it. This is what makes a 16k-endpoint
+    /// "quick-scale" run feasible (`perf_smoke`'s `flow_scale` step: the
+    /// untruncated pattern would be p·(p-1) ≈ 2.7·10⁸ messages).
+    pub fn with_shifts(p: usize, bytes: u64, window: u32, shifts: u32) -> Self {
         Self {
             p: p as u32,
             bytes,
             window: window.max(1),
+            shifts: shifts.clamp(1, p as u32 - 1),
             next_iter: vec![0; p],
             done_ranks: 0,
             finish: 0,
@@ -65,13 +80,13 @@ impl Alltoall {
 
     /// Total bytes each rank sends.
     pub fn bytes_per_rank(&self) -> u64 {
-        self.bytes * (self.p as u64 - 1)
+        self.bytes * self.shifts as u64
     }
 
     fn issue(&mut self, ctx: &mut Ctx, rank: u32) {
         let i = self.next_iter[rank as usize];
-        if i >= self.p - 1 {
-            if i == self.p - 1 {
+        if i >= self.shifts {
+            if i == self.shifts {
                 self.done_ranks += 1;
                 self.finish = ctx.now();
                 self.next_iter[rank as usize] += 1;
@@ -299,6 +314,20 @@ mod tests {
             let stats = Engine::new(net, cfg).run(&mut app);
             assert!(stats.clean(), "{}: {stats:?}", net.name);
         }
+    }
+
+    #[test]
+    fn shift_capped_alltoall_sends_one_permutation_per_shift() {
+        let net = HxMeshParams::square(2, 2).build();
+        let p = net.num_ranks();
+        let mut app = Alltoall::with_shifts(p, 8192, 2, 3);
+        let stats = crate::FlowEngine::new(&net, SimConfig::default()).run(&mut app);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.messages_delivered as usize, p * 3);
+        assert_eq!(app.bytes_per_rank(), 8192 * 3);
+        // The cap degenerates to the full alltoall at shifts = p - 1.
+        let full = Alltoall::new(p, 8192, 2);
+        assert_eq!(full.bytes_per_rank(), 8192 * (p as u64 - 1));
     }
 
     #[test]

@@ -10,6 +10,54 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Which max-min solver scope the flow engine uses on a dirty epoch.
+///
+/// Both modes run the same per-component progressive filling
+/// ([`crate::flow`]); they differ only in *which* components refill.
+/// `Full` refills every connected component of the link-sharing graph,
+/// `Incremental` only the components containing a change seed (new flow,
+/// NIC un-gating, or a drain that retired a shared link). Because the
+/// fill is a pure function of a component's membership — and an
+/// unchanged component's membership is unchanged by definition — the two
+/// modes produce bitwise-identical rates, completion times, and stats
+/// (solver-effort counters aside); `tests/flow_incremental_equiv.rs`
+/// pins that equivalence differentially. Ignored by the packet engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RateMode {
+    /// Refill every component on each dirty epoch (reference solver).
+    Full,
+    /// Refill only components that contain a change seed (default).
+    Incremental,
+}
+
+impl std::str::FromStr for RateMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(RateMode::Full),
+            "incremental" => Ok(RateMode::Incremental),
+            _ => Err(format!(
+                "unknown rate mode {s:?} (expected full|incremental)"
+            )),
+        }
+    }
+}
+
+impl RateMode {
+    /// Resolve the ambient default: the `HX_RATES` environment variable
+    /// (set by the shared `--rates` CLI flag, see `hxserve::cli`) when
+    /// valid, otherwise [`RateMode::Incremental`]. Reading configuration
+    /// from the environment is deterministic (same run, same value) —
+    /// the D002 house rule only bans entropy and wall-clock.
+    pub fn from_env() -> Self {
+        match std::env::var("HX_RATES") {
+            Ok(v) => v.parse().unwrap_or(RateMode::Incremental),
+            Err(_) => RateMode::Incremental,
+        }
+    }
+}
+
 /// Engine configuration. Defaults follow App. F of the paper.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -40,6 +88,13 @@ pub struct SimConfig {
     pub seed: u64,
     /// Hard stop; the run reports a failure if exceeded.
     pub max_time_ps: Time,
+    /// Flow engine: max-min solver scope (see [`RateMode`]).
+    pub rate_mode: RateMode,
+    /// Flow engine: record a per-epoch `(time, msg, rate)` snapshot in
+    /// [`crate::SimStats::rate_trace`] at every dirty epoch. Test-only
+    /// instrumentation for the differential equivalence suite; costs
+    /// O(active flows) per epoch, so it defaults off.
+    pub trace_rates: bool,
 }
 
 impl Default for SimConfig {
@@ -55,6 +110,8 @@ impl Default for SimConfig {
             use_waypoints: true,
             seed: 0x5eed,
             max_time_ps: Time::MAX,
+            rate_mode: RateMode::from_env(),
+            trace_rates: false,
         }
     }
 }

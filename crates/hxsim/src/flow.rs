@@ -30,6 +30,25 @@
 //! agree with the packet engine within the cross-validation tolerance
 //! asserted in `tests/flow_vs_packet.rs` and documented in the README.
 //!
+//! ## O(affected) incremental rate solving
+//!
+//! Max-min allocations decompose over the connected components of the
+//! *link-sharing graph* (flows as nodes, an edge wherever two flows cross
+//! the same directed link): filling one component never reads a link of
+//! another. The solver exploits that by refilling, on each dirty epoch,
+//! only the components reachable from a *change seed* — a flow activated
+//! since the last solve (new send, NIC un-gating) or a link where a drain
+//! retired a shared subscription. Everything else keeps its rates. This
+//! generalizes the PR 5 disjoint-drain skip from "no shared link anywhere"
+//! to "recompute only where sharing changed"; on large symmetric patterns
+//! almost every epoch touches a small component, which is what makes
+//! 16k-endpoint sweeps tractable (see `perf_smoke --quick`'s `flow_scale`
+//! step). [`RateMode::Full`] widens every solve to all components; since
+//! `FlowEngine::fill_component` is a pure function of component
+//! membership, the widened solve recomputes identical bit patterns for
+//! unchanged components, and the two modes stay bitwise-equivalent —
+//! `tests/flow_incremental_equiv.rs` pins that differentially.
+//!
 //! Routes avoid links marked failed via [`hxnet::Topology::fail_link`]
 //! exactly like the packet engine does, because both ask the same
 //! [`hxnet::Router`] for candidates: under fault injection every router
@@ -43,7 +62,7 @@
 
 use crate::app::{Application, Cmd, Ctx, MsgInfo};
 use crate::stats::SimStats;
-use crate::{SimConfig, Time};
+use crate::{RateMode, SimConfig, Time};
 use hxnet::route::Hop;
 use hxnet::{Network, NodeId, PortId};
 use std::cmp::Reverse;
@@ -165,8 +184,29 @@ pub struct FlowEngine<'n> {
     share: Vec<f64>,
     link_gen: Vec<u32>,
     rate_gen: u32,
-    /// Water-filling worklist of (flow, route) units still unassigned.
+    /// Water-filling worklist of the (flow, route) units of the component
+    /// currently being filled (buffer recycled across fills).
     pending: Vec<(FlowId, u32)>,
+    /// Per directed link: the *draining* (active, un-gated) flows that
+    /// cross it — the incidence side of the link-sharing graph the
+    /// incremental solver walks. Gated flows are absent: they hold no
+    /// rate and do not constrain the fill. One entry per flow no matter
+    /// how many of its routes cross the link.
+    link_flows: Vec<Vec<FlowId>>,
+    /// Change seeds accumulated since the last solve: flows activated
+    /// (new sends and NIC un-gatings) ...
+    seed_flows: Vec<FlowId>,
+    /// ... and links where a drain retired a shared subscription.
+    seed_links: Vec<u32>,
+    /// Component-walk visited stamps, lazily invalidated by `comp_gen`.
+    flow_seen: Vec<u32>,
+    link_seen: Vec<u32>,
+    comp_gen: u32,
+    /// Dedup stamps for incidence registration within one [`Self::activate`].
+    inc_seen: Vec<u32>,
+    inc_gen: u32,
+    /// Component-walk frontier scratch.
+    frontier: Vec<FlowId>,
     /// NIC injection FIFO per directed link (indexed like `link_cap`; only
     /// endpoint injection ports are ever populated). Mirrors the packet
     /// engine's per-port NIC window: a message that fits the window
@@ -223,6 +263,15 @@ impl<'n> FlowEngine<'n> {
             link_gen: vec![0; total],
             rate_gen: 0,
             pending: Vec::new(),
+            link_flows: vec![Vec::new(); total],
+            seed_flows: Vec::new(),
+            seed_links: Vec::new(),
+            flow_seen: Vec::new(),
+            link_seen: vec![0; total],
+            comp_gen: 0,
+            inc_seen: vec![0; total],
+            inc_gen: 0,
+            frontier: Vec::new(),
             inj_queue: vec![Vec::new(); total],
             spare_links: Vec::new(),
             stats: SimStats {
@@ -359,8 +408,7 @@ impl<'n> FlowEngine<'n> {
             }
             for g in candidates {
                 if self.flows[g as usize].gated && self.nic_eligible(g) {
-                    self.flows[g as usize].gated = false;
-                    self.active.push(g);
+                    self.activate(g);
                     needs_recompute = true;
                 }
             }
@@ -379,10 +427,21 @@ impl<'n> FlowEngine<'n> {
                         (r.carried / self.link_cap[li as usize]).round() as u64;
                     debug_assert!(self.link_nflows[li as usize] > 0);
                     self.link_nflows[li as usize] -= 1;
-                    // Another route still crosses this link: its fair
-                    // share grows now that we left, so rates must be
-                    // refilled.
-                    needs_recompute |= self.link_nflows[li as usize] > 0;
+                    // Drop `f` from the link's incidence list (once —
+                    // later routes revisiting the link find it gone) and
+                    // seed the link if other draining flows remain: their
+                    // fair share grows now that we left, so only *their*
+                    // component must be refilled. Links whose remaining
+                    // subscribers are all gated seed nothing — a gated
+                    // flow holds no rate and constrains no fill.
+                    let lf = &mut self.link_flows[li as usize];
+                    if let Some(pos) = lf.iter().position(|&g| g == f) {
+                        lf.swap_remove(pos);
+                    }
+                    if !lf.is_empty() {
+                        self.seed_links.push(li);
+                        needs_recompute = true;
+                    }
                 }
                 r.links.clear();
                 self.spare_links.push(r.links);
@@ -543,9 +602,29 @@ impl<'n> FlowEngine<'n> {
             self.inj_queue[li as usize].push(f);
         }
         if self.nic_eligible(f) {
-            self.flows[f as usize].gated = false;
-            self.active.push(f);
+            self.activate(f);
         }
+    }
+
+    /// Activate a flow: mark it draining, register it on the incidence
+    /// lists of every distinct link its routes cross, and seed it for the
+    /// next solver pass.
+    fn activate(&mut self, f: FlowId) {
+        self.flows[f as usize].gated = false;
+        self.active.push(f);
+        self.inc_gen = self.inc_gen.wrapping_add(1);
+        let gen = self.inc_gen;
+        let fl = &self.flows[f as usize];
+        for r in &fl.routes {
+            for &li in &r.links {
+                let li = li as usize;
+                if self.inc_seen[li] != gen {
+                    self.inc_seen[li] = gen;
+                    self.link_flows[li].push(f);
+                }
+            }
+        }
+        self.seed_flows.push(f);
     }
 
     /// Distinct first links over a route set (at most 4 routes, so a
@@ -668,33 +747,171 @@ impl<'n> FlowEngine<'n> {
         }
     }
 
-    /// Max-min fair allocation by progressive filling, batched by level:
-    /// each round finds the tightest fair share over all constrained
-    /// links, freezes **every** route whose own bottleneck sits at that
-    /// level, and subtracts the share from the links those routes cross.
-    /// Rounds are therefore proportional to the number of distinct
-    /// bottleneck levels, not the number of links. Allocation-free:
-    /// scratch arrays are engine members invalidated by generation stamp.
+    /// Solve max-min rates for every component that could have changed.
+    ///
+    /// The link-sharing graph splits into connected components whose
+    /// allocations are independent: filling one component never reads a
+    /// link of another. Each dirty epoch this walks the components
+    /// reachable from the change seeds — flows activated since the last
+    /// solve (`seed_flows`) and links a retired flow left behind with
+    /// surviving subscribers (`seed_links`) — and refills each exactly
+    /// once via [`Self::fill_component`]; all other flows keep their
+    /// rates. Multiple same-epoch seeds landing in one component coalesce
+    /// into a single fill (the `comp_gen` visited stamps).
+    ///
+    /// [`RateMode::Full`] widens the walk to every active flow. Because
+    /// the fill is a pure function of component membership, and a
+    /// component without a seed has unchanged membership, the widened
+    /// walk recomputes identical bit patterns for unchanged components —
+    /// the idempotence that makes the two modes bitwise-equivalent and
+    /// differentially testable. Only the solver-effort counters
+    /// (`rate_recomputes*`, `rate_touched_flows`) may differ across
+    /// modes; `tests/flow_incremental_equiv.rs` holds everything else,
+    /// including the optional per-epoch rate trace, bitwise equal.
     fn recompute_rates(&mut self) {
-        if self.active.is_empty() {
-            return;
+        let mut filled = 0usize;
+        let mut fills = 0u32;
+        let has_seeds = !(self.seed_flows.is_empty() && self.seed_links.is_empty());
+        if !self.active.is_empty() && has_seeds {
+            self.comp_gen = self.comp_gen.wrapping_add(1);
+            let gen = self.comp_gen;
+            if self.flow_seen.len() < self.flows.len() {
+                self.flow_seen.resize(self.flows.len(), gen.wrapping_sub(1));
+            }
+            if self.cfg.rate_mode == RateMode::Full {
+                for i in 0..self.active.len() {
+                    let f = self.active[i];
+                    if self.flow_seen[f as usize] != gen {
+                        filled += self.fill_component_from(f);
+                        fills += 1;
+                    }
+                }
+            } else {
+                for i in 0..self.seed_flows.len() {
+                    let f = self.seed_flows[i];
+                    let fl = &self.flows[f as usize];
+                    // A seed may have drained (or had its id recycled)
+                    // within the same coalesced epoch; only flows that
+                    // are still draining anchor a component walk.
+                    if fl.gated || fl.routes.is_empty() || self.flow_seen[f as usize] == gen {
+                        continue;
+                    }
+                    filled += self.fill_component_from(f);
+                    fills += 1;
+                }
+                for i in 0..self.seed_links.len() {
+                    let li = self.seed_links[i] as usize;
+                    for j in 0..self.link_flows[li].len() {
+                        let g = self.link_flows[li][j];
+                        if self.flow_seen[g as usize] != gen {
+                            filled += self.fill_component_from(g);
+                            fills += 1;
+                        }
+                    }
+                }
+            }
         }
-        self.stats.rate_recomputes += 1;
+        self.seed_flows.clear();
+        self.seed_links.clear();
+        if fills > 0 {
+            self.stats.rate_recomputes += 1;
+            self.stats.rate_touched_flows += filled as u64;
+            if filled == self.active.len() {
+                self.stats.rate_recomputes_full += 1;
+            } else {
+                self.stats.rate_recomputes_component += 1;
+            }
+        }
+        if self.cfg.trace_rates {
+            self.record_rate_trace();
+        }
+    }
+
+    /// Append one epoch's `(time, msg, rate)` snapshot of every active
+    /// flow to [`SimStats::rate_trace`], sorted by msg id within the
+    /// epoch. Recorded on *every* dirty epoch (not just epochs that
+    /// filled something) because dirty epochs are mode-independent while
+    /// fill counts are not — that keeps the traces of the two solver
+    /// modes index-aligned for the bitwise comparison.
+    fn record_rate_trace(&mut self) {
+        let t = self.now.to_bits();
+        let start = self.stats.rate_trace.len();
+        for &f in &self.active {
+            let fl = &self.flows[f as usize];
+            self.stats.rate_trace.push((t, fl.msg, fl.rate.to_bits()));
+        }
+        self.stats.rate_trace[start..].sort_unstable();
+    }
+
+    /// Walk the connected component containing flow `f` over the link ↔
+    /// draining-flow incidence and refill it. Returns the component's
+    /// flow count. Visited stamps are `comp_gen`-scoped, so a component
+    /// fills at most once per epoch no matter how many seeds land in it.
+    fn fill_component_from(&mut self, f: FlowId) -> usize {
+        let gen = self.comp_gen;
+        self.flow_seen[f as usize] = gen;
+        let mut frontier = std::mem::take(&mut self.frontier);
+        let mut comp = std::mem::take(&mut self.pending);
+        frontier.clear();
+        comp.clear();
+        frontier.push(f);
+        let mut nflows = 0usize;
+        while let Some(g) = frontier.pop() {
+            nflows += 1;
+            let nroutes = self.flows[g as usize].routes.len();
+            for ri in 0..nroutes {
+                comp.push((g, ri as u32));
+                let nlinks = self.flows[g as usize].routes[ri].links.len();
+                for k in 0..nlinks {
+                    let li = self.flows[g as usize].routes[ri].links[k] as usize;
+                    if self.link_seen[li] != gen {
+                        self.link_seen[li] = gen;
+                        for j in 0..self.link_flows[li].len() {
+                            let h = self.link_flows[li][j];
+                            if self.flow_seen[h as usize] != gen {
+                                self.flow_seen[h as usize] = gen;
+                                frontier.push(h);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.fill_component(&mut comp);
+        self.frontier = frontier;
+        self.pending = comp;
+        nflows
+    }
+
+    /// Max-min fair allocation of one component by progressive filling,
+    /// batched by level: each round finds the tightest fair share over
+    /// the component's constrained links, freezes **every** route whose
+    /// own bottleneck sits at (or within `LEVEL_SLACK` of) that level at
+    /// its own share, and subtracts the shares from the links those
+    /// routes cross. Rounds are therefore proportional to the number of
+    /// distinct bottleneck levels, not the number of links.
+    ///
+    /// Determinism contract: this is a pure function of the component's
+    /// `(flow, route)` membership and the link capacities. The unit list
+    /// is sorted into canonical (flow id, route index) order first
+    /// because the float accumulations below are order-dependent — with
+    /// the sort, the same component yields the same bit pattern no
+    /// matter which seed discovered it or which [`RateMode`] requested
+    /// the fill. Allocation-free: scratch arrays are engine members
+    /// invalidated by generation stamp.
+    fn fill_component(&mut self, comp: &mut Vec<(FlowId, u32)>) {
+        comp.sort_unstable();
         self.rate_gen = self.rate_gen.wrapping_add(1);
         let gen = self.rate_gen;
         self.touched.clear();
-        self.pending.clear();
-        for &f in &self.active {
-            let fl = &mut self.flows[f as usize];
-            fl.rate = 0.0;
-            for (ri, r) in fl.routes.iter_mut().enumerate() {
-                r.rate = -1.0; // sentinel: unassigned
-                self.pending.push((f, ri as u32));
+        for &(f, ri) in comp.iter() {
+            let f = f as usize;
+            if ri == 0 {
+                self.flows[f].rate = 0.0;
             }
-        }
-        for &(f, ri) in &self.pending {
-            for &li in &self.flows[f as usize].routes[ri as usize].links {
-                let li = li as usize;
+            self.flows[f].routes[ri as usize].rate = -1.0; // sentinel: unassigned
+            for k in 0..self.flows[f].routes[ri as usize].links.len() {
+                let li = self.flows[f].routes[ri as usize].links[k] as usize;
                 if self.link_gen[li] != gen {
                     self.link_gen[li] = gen;
                     self.residual[li] = self.link_cap[li];
@@ -704,8 +921,7 @@ impl<'n> FlowEngine<'n> {
                 self.unsat[li] += 1;
             }
         }
-        let mut pending = std::mem::take(&mut self.pending);
-        while !pending.is_empty() {
+        while !comp.is_empty() {
             // Refresh the per-link fair shares and find the level: the
             // tightest share over all still-constrained links.
             let mut level = f64::INFINITY;
@@ -724,8 +940,8 @@ impl<'n> FlowEngine<'n> {
             let lim = level * (1.0 + LEVEL_SLACK) + f64::MIN_POSITIVE;
             // Freeze every pending route bottlenecked at (or within the
             // slack of) this level, each at its own bottleneck share.
-            let before = pending.len();
-            pending.retain(|&(f, ri)| {
+            let before = comp.len();
+            comp.retain(|&(f, ri)| {
                 let f = f as usize;
                 let mut own = f64::INFINITY;
                 for &li in &self.flows[f].routes[ri as usize].links {
@@ -746,9 +962,8 @@ impl<'n> FlowEngine<'n> {
                 }
                 false
             });
-            debug_assert!(pending.len() < before, "water-filling stalled");
+            debug_assert!(comp.len() < before, "water-filling stalled");
         }
-        self.pending = pending;
     }
 }
 

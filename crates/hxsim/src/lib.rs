@@ -44,7 +44,7 @@ pub mod stats;
 mod tests_edge;
 
 pub use app::{Application, Cmd, Ctx, MsgInfo};
-pub use engine::{Engine, SimConfig};
+pub use engine::{Engine, RateMode, SimConfig};
 pub use flow::FlowEngine;
 pub use stats::SimStats;
 

@@ -17,11 +17,29 @@ pub struct SimStats {
     pub undelivered_messages: usize,
     /// The run hit `max_time_ps`.
     pub timed_out: bool,
-    /// Flow engine only: number of max-min rate recomputations (progressive
-    /// fillings). Drains of flows that shared no link with any still-active
-    /// flow skip the recompute, so this stays well below `events` on
-    /// low-contention traffic. Always 0 for the packet engine.
+    /// Flow engine only: number of epochs on which the max-min solver ran
+    /// at least one progressive filling. Drains of flows that shared no
+    /// link with any still-active flow skip the recompute, so this stays
+    /// well below `events` on low-contention traffic. Always 0 for the
+    /// packet engine.
     pub rate_recomputes: u64,
+    /// Flow engine only: recompute epochs whose fills covered *every*
+    /// active flow — the solver found no component it could leave alone.
+    /// Under `RateMode::Full` every recompute epoch lands here.
+    pub rate_recomputes_full: u64,
+    /// Flow engine only: recompute epochs whose fills covered a proper
+    /// subset of the active flows — the O(affected) win. The perf_smoke
+    /// `flow_scale` gate asserts these dominate (≥90%) at 16k endpoints.
+    pub rate_recomputes_component: u64,
+    /// Flow engine only: cumulative flows touched by fills, summed over
+    /// recompute epochs. Under `RateMode::Full` this is Σ active-flow
+    /// counts; `Incremental` is provably ≤ that (pinned differentially).
+    pub rate_touched_flows: u64,
+    /// Flow engine only, populated when `SimConfig::trace_rates` is set:
+    /// one `(now.to_bits(), msg_id, rate.to_bits())` entry per active
+    /// flow per dirty epoch, sorted by msg id within an epoch. The
+    /// differential suite compares this bitwise across solver modes.
+    pub rate_trace: Vec<(u64, u32, u64)>,
     /// Sum of busy picoseconds over all directed links.
     pub total_link_busy_ps: u64,
     /// Per destination rank: time its last message completed.

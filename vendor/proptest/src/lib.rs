@@ -1,14 +1,21 @@
 //! Offline API-compatible shim for the subset of `proptest` this
 //! workspace uses: the `proptest!` macro over `arg in strategy` bindings,
-//! range and tuple strategies, `collection::vec`, `ProptestConfig`, and
-//! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//! range and tuple strategies, `collection::vec`, `prop_oneof!`,
+//! `ProptestConfig`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` macros.
 //!
 //! Semantics: each test runs `cases` deterministic pseudo-random cases
-//! (seeded from the test name, so failures reproduce across runs). There
-//! is no shrinking — a failing case panics with the sampled values left to
-//! inspection via the assertion message.
+//! (seeded from the test name, so failures reproduce across runs). A
+//! failing case is **shrunk** before being reported: the runner greedily
+//! walks [`strategy::Strategy::shrink`] candidates — integers toward the range
+//! start, vectors toward fewer/smaller elements, tuples field by field —
+//! and panics with the smallest input it could still make fail. Shrinking
+//! replays the test body under `catch_unwind`, so intermediate candidate
+//! panics are printed by the default hook; only the final message matters.
 
 pub mod test_runner {
+    use crate::strategy::{minimize, Strategy};
+
     /// Per-test configuration.
     #[derive(Clone, Debug)]
     pub struct Config {
@@ -48,6 +55,65 @@ pub mod test_runner {
             Self(rand::rngs::StdRng::seed_from_u64(h))
         }
     }
+
+    /// Outcome of one execution of a test body.
+    pub enum CaseResult {
+        Pass,
+        Reject,
+        Fail(String),
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// Run the test body once, converting panics into [`CaseResult::Fail`].
+    pub fn run_case<V, F>(f: &F, value: V) -> CaseResult
+    where
+        F: Fn(V) -> Result<(), TestCaseError>,
+    {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value))) {
+            Ok(Ok(())) => CaseResult::Pass,
+            Ok(Err(TestCaseError::Reject)) => CaseResult::Reject,
+            Err(payload) => CaseResult::Fail(panic_message(payload)),
+        }
+    }
+
+    /// The `proptest!` driver: sample `cfg.cases` inputs; on the first
+    /// failure, shrink to a minimal failing input and panic with it.
+    pub fn run<S, F>(name: &str, cfg: Config, strat: S, f: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::deterministic(name);
+        for case in 0..cfg.cases {
+            let value = strat.sample(&mut rng);
+            match run_case(&f, value.clone()) {
+                CaseResult::Pass | CaseResult::Reject => continue,
+                CaseResult::Fail(first_msg) => {
+                    let fails =
+                        |v: &S::Value| matches!(run_case(&f, v.clone()), CaseResult::Fail(_));
+                    let (min, steps) = minimize(&strat, value, &fails);
+                    let msg = match run_case(&f, min.clone()) {
+                        CaseResult::Fail(m) => m,
+                        _ => first_msg,
+                    };
+                    panic!(
+                        "proptest {name} failed at case {case}; \
+                         minimal input after {steps} shrink steps: {min:?}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 pub mod strategy {
@@ -59,35 +125,147 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, "simplest" first. The
+        /// runner greedily takes the first candidate that still fails and
+        /// repeats, so candidates must be strictly simpler than `value`
+        /// (integers smaller, vectors shorter/element-wise smaller) or
+        /// shrinking would not terminate. The default is no shrinking.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
-    macro_rules! range_strategy {
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Greedy shrink loop: repeatedly replace `value` with the first
+    /// shrink candidate that still satisfies `fails`, until none does (or
+    /// a fixed evaluation budget runs out, which bounds the cost of
+    /// shrinking expensive test bodies). Returns the minimized value and
+    /// the number of successful shrink steps.
+    pub fn minimize<S: Strategy>(
+        strat: &S,
+        mut value: S::Value,
+        fails: &dyn Fn(&S::Value) -> bool,
+    ) -> (S::Value, usize)
+    where
+        S::Value: Clone,
+    {
+        let mut steps = 0usize;
+        let mut budget = 1024usize;
+        'outer: while budget > 0 {
+            for cand in strat.shrink(&value) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if fails(&cand) {
+                    value = cand;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, steps)
+    }
+
+    macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     rng.0.random_range(self.clone())
                 }
+                /// Toward the range start: the start itself, the halfway
+                /// point, then the predecessor — big jumps first so the
+                /// greedy loop converges in O(log range) steps.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let v = *value;
+                    let mut out = Vec::new();
+                    if v <= self.start {
+                        return out;
+                    }
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                    let prev = v - 1;
+                    if prev != self.start && prev != mid {
+                        out.push(prev);
+                    }
+                    out
+                }
             }
         )*};
     }
-    range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, f64);
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.0.random_range(self.clone())
+        }
+        // No shrinking: halving a float rarely lands on a "simpler"
+        // value, and == against candidates is a footgun.
+    }
+
+    // Positional shrink over a tuple: for each field in turn, substitute
+    // that field's shrink candidates while cloning the others.
+    macro_rules! tuple_shrink_each {
+        ($out:ident, ($(($PS:ident, $pv:ident),)*), ()) => {};
+        ($out:ident, ($(($PS:ident, $pv:ident),)*),
+         (($S:ident, $v:ident), $(($TS:ident, $tv:ident),)*)) => {
+            for cand in $S.shrink($v) {
+                $out.push(($($pv.clone(),)* cand, $($tv.clone(),)*));
+            }
+            tuple_shrink_each!(
+                $out,
+                ($(($PS, $pv),)* ($S, $v),),
+                ($(($TS, $tv),)*)
+            );
+        };
+    }
 
     macro_rules! tuple_strategy {
-        ($($name:ident),*) => {
-            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+        ($(($name:ident, $field:ident)),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*)
+            where
+                $($name::Value: Clone),*
+            {
                 type Value = ($($name::Value,)*);
                 #[allow(non_snake_case)]
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)*) = self;
                     ($($name.sample(rng),)*)
                 }
+                #[allow(non_snake_case)]
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let ($($name,)*) = self;
+                    let ($($field,)*) = value;
+                    let mut out = Vec::new();
+                    tuple_shrink_each!(out, (), ($(($name, $field),)*));
+                    out
+                }
             }
         };
     }
-    tuple_strategy!(A, B);
-    tuple_strategy!(A, B, C);
-    tuple_strategy!(A, B, C, D);
+    tuple_strategy!((A, a));
+    tuple_strategy!((A, a), (B, b));
+    tuple_strategy!((A, a), (B, b), (C, c));
+    tuple_strategy!((A, a), (B, b), (C, c), (D, d));
+    tuple_strategy!((A, a), (B, b), (C, c), (D, d), (E, e));
+    tuple_strategy!((A, a), (B, b), (C, c), (D, d), (E, e), (F, f));
 
     /// `Just`-style constant strategy, handy for composition.
     #[derive(Clone, Debug)]
@@ -98,6 +276,37 @@ pub mod strategy {
         fn sample(&self, _rng: &mut TestRng) -> T {
             self.0.clone()
         }
+    }
+
+    /// Uniform choice between same-valued strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        variants: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs >= 1 variant");
+            Self { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.random_range(0..self.variants.len());
+            self.variants[i].sample(rng)
+        }
+        /// Every variant may propose simplifications; a candidate outside
+        /// the producing variant's own domain is harmless because the
+        /// runner only keeps candidates that still fail the test.
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.variants.iter().flat_map(|s| s.shrink(value)).collect()
+        }
+    }
+
+    /// Type-erase a strategy for [`Union`] storage.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
     }
 }
 
@@ -117,23 +326,56 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.0.random_range(self.size.clone());
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+        /// Shorter first (halve toward the minimum length, then drop each
+        /// single element), then element-wise shrinks in place.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min_len = self.size.start;
+            let mut out = Vec::new();
+            if value.len() > min_len {
+                let half = min_len.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut t = value.clone();
+                    t.remove(i);
+                    if t.len() >= min_len {
+                        out.push(t);
+                    }
+                }
+            }
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut t = value.clone();
+                    t[i] = cand;
+                    out.push(t);
+                }
+            }
+            out
+        }
     }
 }
 
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Entry macro: expands each `fn name(arg in strategy, ...) { body }` item
-/// into a plain `#[test]` running `cases` sampled executions.
+/// into a plain `#[test]` that drives [`test_runner::run`] (sampling +
+/// shrink-on-failure) over the tuple of argument strategies.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -155,25 +397,29 @@ macro_rules! __proptest_items {
     ) => {
         $(#[$meta])*
         fn $name() {
-            let __cfg = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
-            for __case in 0..__cfg.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
-                let mut __one_case = move || -> Result<(), $crate::test_runner::TestCaseError> {
+            $crate::test_runner::run(
+                stringify!($name),
+                $cfg,
+                ($(($strat),)*),
+                |($($arg,)*)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
                     $body
                     Ok(())
-                };
-                match __one_case() {
-                    Ok(()) => {}
-                    Err($crate::test_runner::TestCaseError::Reject) => continue,
-                }
-            }
+                },
+            );
         }
         $crate::__proptest_items! { cfg = $cfg; $($rest)* }
     };
 }
 
-/// Assertion macros: panic on failure (no shrinking), reject on assume.
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion macros: panic on failure (the runner shrinks), reject on assume.
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
@@ -206,6 +452,8 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::minimize;
+    use crate::test_runner::TestRng;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -229,5 +477,98 @@ mod tests {
                 prop_assert!(a < 4 && b < 4);
             }
         }
+
+        #[test]
+        fn oneof_samples_stay_in_some_variant(x in prop_oneof![0usize..5, 10usize..15]) {
+            prop_assert!((0..5).contains(&x) || (10..15).contains(&x));
+        }
+    }
+
+    // -- shrink-behavior pins ------------------------------------------
+    // These nail down the shrinking contract the differential flow tests
+    // rely on for debuggable failures: candidates move strictly toward
+    // "simpler", and the greedy minimize loop lands on the boundary value.
+
+    #[test]
+    fn int_shrink_moves_toward_range_start() {
+        let strat = 3usize..9;
+        let cands = strat.shrink(&8);
+        assert!(cands.contains(&3), "range start missing: {cands:?}");
+        assert!(cands.iter().all(|&c| (3..8).contains(&c)), "{cands:?}");
+        assert!(strat.shrink(&3).is_empty(), "start value must not shrink");
+    }
+
+    #[test]
+    fn minimize_finds_smallest_failing_int() {
+        let (min, steps) = minimize(&(0usize..100), 93, &|v| *v >= 7);
+        assert_eq!(min, 7);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn minimize_shrinks_vec_to_boundary() {
+        let strat = crate::collection::vec(0usize..10, 0..8);
+        let fails = |v: &Vec<usize>| v.iter().sum::<usize>() >= 5;
+        let (min, _) = minimize(&strat, vec![9, 3, 2], &fails);
+        assert_eq!(min, vec![5]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_minimum_length() {
+        let strat = crate::collection::vec(0usize..10, 2..6);
+        for cand in strat.shrink(&vec![4, 1, 7]) {
+            assert!(cand.len() >= 2, "shrank below min length: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_field_at_a_time() {
+        let strat = (0usize..10, 0usize..10);
+        for (a, b) in strat.shrink(&(4, 6)) {
+            assert!((a == 4) ^ (b == 6) || (a < 4 && b == 6) || (a == 4 && b < 6));
+            assert!(a <= 4 && b <= 6);
+            assert!((a, b) != (4, 6));
+        }
+        assert!(!strat.shrink(&(4, 6)).is_empty());
+    }
+
+    #[test]
+    fn oneof_covers_every_variant_and_shrinks_across_them() {
+        let strat = prop_oneof![0usize..5, 10usize..15];
+        let mut rng = TestRng::deterministic("oneof_coverage");
+        let (mut low, mut high) = (false, false);
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                v if v < 5 => low = true,
+                v => {
+                    assert!((10..15).contains(&v));
+                    high = true;
+                }
+            }
+        }
+        assert!(low && high, "union never picked one of its variants");
+        // A value sampled from the second variant still shrinks toward
+        // the first variant's smaller domain.
+        let (min, _) = minimize(&strat, 13, &|v| *v >= 3);
+        assert_eq!(min, 3);
+    }
+
+    #[test]
+    fn runner_reports_minimal_input() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                "boundary_hunt",
+                ProptestConfig::with_cases(64),
+                (0usize..1000,),
+                |(x,)| {
+                    prop_assert!(x < 40, "x too big: {x}");
+                    Ok(())
+                },
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("(40,)"), "not minimal: {msg}");
+        assert!(msg.contains("x too big: 40"), "{msg}");
     }
 }
