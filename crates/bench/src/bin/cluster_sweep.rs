@@ -61,6 +61,11 @@ fn main() {
     let reports: Vec<(&str, ClusterReport, f64)> = loads
         .par_iter()
         .map(|&(label, gap)| {
+            // Telemetry for this load point — including every nested
+            // iteration simulation — lands under a label derived from the
+            // load name, so `--metrics-out`/`--trace-out` artifacts are
+            // byte-identical at any thread count.
+            let _tel_scope = hxtelemetry::collect::scope(&format!("load/{label}"));
             let cfg = ClusterConfig {
                 mesh: mesh.clone(),
                 num_jobs,
@@ -103,6 +108,7 @@ fn main() {
         std::fs::write(path, &csv).expect("write cluster_sweep CSV");
         eprintln!("[cluster_sweep] wrote {}", path.display());
     }
+    args.write_telemetry();
     println!(
         "\nExpected shape: waits are ~0 until the cluster saturates, then grow\n\
          sharply at heavy load while utilization climbs; blocked giants trigger\n\

@@ -213,7 +213,83 @@ fn main() {
     std::fs::write(&p, &csv).expect("write fig13 csv");
     eprintln!("[perf_smoke] wrote {}", p.display());
 
+    write_bench_obs(&out_dir, quick, &net, a2a_bytes);
     write_bench_par(&out_dir, quick);
+}
+
+/// The observability overhead gate: the fig11 alltoall flow run measured
+/// three ways in one process — telemetry disabled (the baseline and the
+/// "tracing off" leg, proving the disabled instrumentation is one branch
+/// per site), then with both channels on. `BENCH_obs.json` records the
+/// walls and the ratio gates (off <= 1.05x, on <= 1.25x); the traced run
+/// also emits `fig11_flow.trace.json`, a Perfetto-loadable sample
+/// artifact, validated against the Chrome trace-event schema before it
+/// is written.
+fn write_bench_obs(out_dir: &std::path::Path, quick: bool, net: &Network, bytes: u64) {
+    use hxtelemetry::collect;
+    let wall = |runs: u32| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            #[allow(clippy::disallowed_methods)] // wall-clock is this bin's product
+            let t0 = Instant::now();
+            let m = experiments::alltoall_bandwidth_on(net, bytes, 2, EngineKind::Flow);
+            assert!(m.clean, "fig11 flow run did not deliver all traffic");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    collect::set_trace_enabled(false);
+    collect::set_metrics_enabled(false);
+    let baseline = wall(3);
+    let off = wall(3);
+    collect::set_trace_enabled(true);
+    collect::set_metrics_enabled(true);
+    collect::reset();
+    let on = {
+        let _scope = collect::scope("obs/fig11_flow");
+        wall(3)
+    };
+    let trace = collect::render_trace().expect("render trace");
+    let events = hxtelemetry::validate_chrome_trace(&trace)
+        .expect("traced fig11 run must emit valid Chrome trace JSON");
+    collect::set_trace_enabled(false);
+    collect::set_metrics_enabled(false);
+    collect::reset();
+    let trace_path = out_dir.join("fig11_flow.trace.json");
+    std::fs::write(&trace_path, &trace).expect("write sample trace artifact");
+    eprintln!(
+        "[perf_smoke] wrote {} ({events} events)",
+        trace_path.display()
+    );
+
+    let off_ratio = off / baseline.max(1e-9);
+    let on_ratio = on / baseline.max(1e-9);
+    eprintln!(
+        "[perf_smoke] obs: baseline {baseline:.3}s, tracing-off {off:.3}s ({off_ratio:.3}x), \
+         tracing-on {on:.3}s ({on_ratio:.3}x)"
+    );
+    let mut json = String::new();
+    json.push_str("{\n  \"generated_by\": \"perf_smoke\",\n");
+    json.push_str(
+        "  \"scenario\": \"balanced-shift alltoall, flow engine, Hx2Mesh 64 endpoints, \
+         min-of-3 walls in one process\",\n",
+    );
+    writeln!(json, "  \"baseline_wall_s\": {baseline:.4},").unwrap();
+    writeln!(json, "  \"tracing_off_wall_s\": {off:.4},").unwrap();
+    writeln!(json, "  \"tracing_on_wall_s\": {on:.4},").unwrap();
+    writeln!(json, "  \"off_ratio\": {off_ratio:.4},").unwrap();
+    writeln!(json, "  \"on_ratio\": {on_ratio:.4},").unwrap();
+    writeln!(json, "  \"trace_events\": {events},").unwrap();
+    writeln!(
+        json,
+        "  \"gate\": {{\"max_off_ratio\": 1.05, \"max_on_ratio\": 1.25, \"enforced\": {}}}",
+        !quick
+    )
+    .unwrap();
+    json.push_str("}\n");
+    let path = out_dir.join("BENCH_obs.json");
+    std::fs::write(&path, &json).expect("write BENCH_obs.json");
+    eprintln!("[perf_smoke] wrote {}", path.display());
 }
 
 /// ROADMAP item 1's scale gate: a Table-II-scale Hx4Mesh alltoall on one

@@ -31,6 +31,10 @@ pub struct HarnessArgs {
     pub mode: Option<String>,
     /// Also write the printed table as CSV to this path (`--csv PATH`).
     pub csv: Option<std::path::PathBuf>,
+    /// Write the deterministic metrics registry as JSON (`--metrics-out`).
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Write a Chrome trace-event JSON of the run (`--trace-out`).
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
@@ -61,6 +65,8 @@ impl HarnessArgs {
             engine: None,
             mode: None,
             csv: None,
+            metrics_out: None,
+            trace_out: None,
         };
         let fail = |msg: String| -> ! {
             eprintln!("{msg}");
@@ -99,10 +105,28 @@ impl HarnessArgs {
                 },
                 "--mode" => out.mode = Some(value.to_string()),
                 "--csv" => out.csv = Some(std::path::PathBuf::from(value)),
+                "--metrics-out" => out.metrics_out = Some(std::path::PathBuf::from(value)),
+                "--trace-out" => out.trace_out = Some(std::path::PathBuf::from(value)),
                 other => fail(format!("unhandled flag {other:?}")),
             }
         }
+        // Enable telemetry before any engine is constructed: engines cache
+        // the channel flags at construction time.
+        cli::apply_telemetry(out.metrics_out.as_deref(), out.trace_out.as_deref());
         out
+    }
+
+    /// Write the `--metrics-out` / `--trace-out` artifacts collected over
+    /// the process. Figure binaries call this once, after all sweeps.
+    pub fn write_telemetry(&self) {
+        if let Err(e) = cli::write_telemetry(self.metrics_out.as_deref(), self.trace_out.as_deref())
+        {
+            eprintln!("cannot write telemetry artifacts: {e}");
+            std::process::exit(1);
+        }
+        for path in [&self.metrics_out, &self.trace_out].into_iter().flatten() {
+            eprintln!("[telemetry] wrote {}", path.display());
+        }
     }
 
     /// The simulation backend to use: an explicit `--engine` wins;
@@ -156,6 +180,7 @@ pub fn run_spec(spec_src: &str, args: &HarnessArgs) {
             eprintln!("[{}] wrote {}", plan.name, path.display());
         }
     }
+    args.write_telemetry();
 }
 
 /// Print a section header in the style used by all binaries.

@@ -12,6 +12,7 @@
 //! caller, with every input item dropped exactly once) is pinned by the
 //! shim's own tests in `vendor/rayon`.
 
+use hxtelemetry::validate_chrome_trace;
 use std::process::Command;
 
 /// Run `exe` with `args` under the given thread count; returns (stdout,
@@ -156,6 +157,91 @@ fn fig13_allreduce_is_rate_solver_invariant() {
     assert!(
         inc == full,
         "fig13: stdout differs between --rates incremental and --rates full",
+    );
+}
+
+/// Run `exe` with `--metrics-out`/`--trace-out` under the given thread
+/// count and rate-solver mode; returns the two artifact documents.
+fn run_telemetry(exe: &str, args: &[&str], threads: u32, rates: &str) -> (String, String) {
+    let stem = format!(
+        "hx_tel_{}_{threads}_{rates}_{}",
+        std::process::id(),
+        std::path::Path::new(exe)
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+    );
+    let metrics_path = std::env::temp_dir().join(format!("{stem}.metrics.json"));
+    let trace_path = std::env::temp_dir().join(format!("{stem}.trace.json"));
+    let out = Command::new(exe)
+        .args(args)
+        .args(["--rates", rates])
+        .args(["--metrics-out", metrics_path.to_str().unwrap()])
+        .args(["--trace-out", trace_path.to_str().unwrap()])
+        .env("RAYON_NUM_THREADS", threads.to_string())
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} with {threads} thread(s), --rates {rates} exited with {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics artifact written");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace artifact written");
+    std::fs::remove_file(&metrics_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+    (metrics, trace)
+}
+
+/// Assert `--metrics-out`/`--trace-out` artifacts are byte-identical at
+/// 1 vs 4 threads AND under `--rates full` vs `incremental`, and that the
+/// trace parses as Chrome trace-event JSON with events in it.
+fn assert_telemetry_invariant(exe: &str, args: &[&str]) {
+    let (m1, t1) = run_telemetry(exe, args, 1, "incremental");
+    let (m4, t4) = run_telemetry(exe, args, 4, "incremental");
+    assert!(
+        m1 == m4,
+        "{exe}: metrics artifact differs between 1 and 4 threads"
+    );
+    assert!(
+        t1 == t4,
+        "{exe}: trace artifact differs between 1 and 4 threads"
+    );
+    let (mf, tf) = run_telemetry(exe, args, 4, "full");
+    assert!(
+        m1 == mf,
+        "{exe}: metrics artifact differs between --rates incremental and full"
+    );
+    assert!(
+        t1 == tf,
+        "{exe}: trace artifact differs between --rates incremental and full"
+    );
+    let events = validate_chrome_trace(&t1)
+        .unwrap_or_else(|e| panic!("{exe}: trace artifact is not valid Chrome trace JSON: {e}"));
+    assert!(events > 0, "{exe}: trace artifact holds no events");
+    assert!(
+        m1.contains("\"counters\""),
+        "{exe}: metrics artifact holds no registry"
+    );
+}
+
+/// The telemetry tentpole's determinism claim, held end to end for the
+/// fig11 sweep: metrics and trace artifacts are byte-identical at any
+/// thread count and under either max-min solver scope, and the trace
+/// loads as Chrome trace-event JSON.
+#[test]
+fn fig11_telemetry_artifacts_are_thread_and_solver_invariant() {
+    assert_telemetry_invariant(env!("CARGO_BIN_EXE_fig11_alltoall"), &[]);
+}
+
+/// Same artifact pins for the cluster-lifetime sweep, whose load points
+/// run concurrently and nest engine runs inside the cluster event loop.
+#[test]
+fn cluster_sweep_telemetry_artifacts_are_thread_and_solver_invariant() {
+    assert_telemetry_invariant(
+        env!("CARGO_BIN_EXE_cluster_sweep"),
+        &["--traces", "8", "--seed", "12648430"],
     );
 }
 

@@ -29,6 +29,7 @@ pub use hxcost;
 pub use hxmodels;
 pub use hxnet;
 pub use hxsim;
+pub use hxtelemetry;
 
 pub mod experiments;
 pub mod topologies;

@@ -1,6 +1,8 @@
 //! Cluster-run metrics: per-job records plus time-averaged cluster state,
 //! and the deterministic CSV the `cluster_sweep` binary emits.
 
+use hxtelemetry::HistogramU64;
+
 /// Outcome of one job.
 #[derive(Clone, Debug)]
 pub struct JobRecord {
@@ -61,6 +63,11 @@ pub struct ClusterReport {
     /// Network simulations actually executed (iteration measurements that
     /// missed the failure-set cache).
     pub sim_invocations: u32,
+    /// Streaming histogram of completed-job wait times, fed as jobs
+    /// complete. O(1) per job; percentile queries never sort.
+    pub wait_hist: HistogramU64,
+    /// Streaming histogram of completed-job completion times.
+    pub jct_hist: HistogramU64,
 }
 
 impl ClusterReport {
@@ -84,15 +91,29 @@ impl ClusterReport {
         self.completed().map(|j| j.jct_ps() as f64).sum::<f64>() / n as f64
     }
 
-    /// `p`-quantile (0..=1) of completed-job wait times, nearest-rank.
+    /// `p`-quantile (0..=1) of completed-job wait times, nearest-rank,
+    /// answered from the streaming histogram — no sort, no Vec of waits.
+    /// Values below 128 ps are bucket-exact; larger ones are reported at
+    /// their bucket's upper bound (relative error at most 1/64).
     pub fn wait_percentile_ps(&self, p: f64) -> u64 {
-        let mut waits: Vec<u64> = self.completed().map(|j| j.wait_ps()).collect();
-        if waits.is_empty() {
-            return 0;
+        self.wait_hist.percentile(p)
+    }
+
+    /// `p`-quantile (0..=1) of completed-job completion times.
+    pub fn jct_percentile_ps(&self, p: f64) -> u64 {
+        self.jct_hist.percentile(p)
+    }
+
+    /// Refill the streaming histograms from `jobs`. `ClusterSim` feeds
+    /// them incrementally at completion time; reports assembled by hand
+    /// (tests, replay tooling) call this once before querying percentiles.
+    pub fn rebuild_histograms(&mut self) {
+        self.wait_hist = HistogramU64::new();
+        self.jct_hist = HistogramU64::new();
+        for j in self.jobs.iter().filter(|j| !j.rejected) {
+            self.wait_hist.record(j.wait_ps());
+            self.jct_hist.record(j.jct_ps());
         }
-        waits.sort_unstable();
-        let idx = ((waits.len() as f64 * p).ceil() as usize).clamp(1, waits.len()) - 1;
-        waits[idx]
     }
 
     /// CSV header shared by job and summary rows (`kind` discriminates).
@@ -173,15 +194,33 @@ mod tests {
 
     #[test]
     fn means_and_percentiles() {
-        let r = ClusterReport {
+        let mut r = ClusterReport {
             jobs: vec![rec(0, 0, 10, 110), rec(1, 5, 45, 145), rec(2, 10, 10, 20)],
             makespan_ps: 145,
             ..Default::default()
         };
+        r.rebuild_histograms();
         assert_eq!(r.mean_wait_ps(), (10.0 + 40.0 + 0.0) / 3.0);
         assert_eq!(r.mean_jct_ps(), (110.0 + 140.0 + 10.0) / 3.0);
         assert_eq!(r.wait_percentile_ps(0.5), 10);
         assert_eq!(r.wait_percentile_ps(1.0), 40);
+        assert_eq!(r.jct_percentile_ps(0.5), 110);
+    }
+
+    #[test]
+    fn histograms_ignore_rejected_jobs() {
+        let mut r = ClusterReport {
+            jobs: vec![rec(0, 0, 10, 110)],
+            ..Default::default()
+        };
+        r.jobs.push(JobRecord {
+            rejected: true,
+            start_ps: u64::MAX,
+            ..rec(1, 3, 0, 0)
+        });
+        r.rebuild_histograms();
+        assert_eq!(r.wait_hist.count(), 1);
+        assert_eq!(r.wait_percentile_ps(1.0), 10);
     }
 
     #[test]

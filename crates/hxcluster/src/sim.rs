@@ -31,6 +31,7 @@ use hxnet::graph::FailureSetId;
 use hxnet::hammingmesh::{HxCoord, HxMeshParams};
 use hxnet::Network;
 use hxsim::{simulate, EngineKind, SimConfig};
+use hxtelemetry::{CounterId, GaugeId, HistId, HistogramU64, Registry, Sampler, TraceSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -152,6 +153,27 @@ pub struct ClusterSim {
     resims: u32,
     defrag_passes: u32,
     sim_invocations: u32,
+    // Telemetry. The enabled flags are cached at construction so every
+    // hot-path site costs one branch when the channels are off.
+    sink: TraceSink,
+    tel_metrics: bool,
+    tel_any: bool,
+    reg: Registry,
+    sampler: Sampler,
+    c_jobs_queued: CounterId,
+    c_jobs_placed: CounterId,
+    c_jobs_preempted: CounterId,
+    c_cable_fails: CounterId,
+    c_cable_repairs: CounterId,
+    h_wait: HistId,
+    h_jct: HistId,
+    g_queue_depth: GaugeId,
+    g_running_jobs: GaugeId,
+    g_free_boards: GaugeId,
+    // Streaming wait/JCT histograms, fed in complete_job and handed to
+    // the report (plus merged into the registry when metrics are on).
+    wait_hist: HistogramU64,
+    jct_hist: HistogramU64,
 }
 
 impl ClusterSim {
@@ -177,6 +199,20 @@ impl ClusterSim {
         if let Some(mean) = cfg.mean_fail_interval_ps {
             events.push(exponential_ps(mean, &mut fail_rng), Event::CableFail);
         }
+        let trace = hxtelemetry::collect::trace_enabled();
+        let tel_metrics = hxtelemetry::collect::metrics_enabled();
+        let mut reg = Registry::new();
+        let g_queue_depth = reg.gauge("queue_depth");
+        let g_running_jobs = reg.gauge("running_jobs");
+        let g_free_boards = reg.gauge("free_boards");
+        // Sample cluster state once per mean interarrival gap of sim time;
+        // the ring keeps the most recent 512 snapshots.
+        let sampler = Sampler::new(
+            &reg,
+            cfg.mean_interarrival_ps,
+            512,
+            vec![g_queue_depth, g_running_jobs, g_free_boards],
+        );
         Self {
             cfg,
             net,
@@ -197,6 +233,23 @@ impl ClusterSim {
             resims: 0,
             defrag_passes: 0,
             sim_invocations: 0,
+            sink: TraceSink::new(trace),
+            tel_metrics,
+            tel_any: trace || tel_metrics,
+            c_jobs_queued: reg.counter("jobs_queued"),
+            c_jobs_placed: reg.counter("jobs_placed"),
+            c_jobs_preempted: reg.counter("jobs_preempted"),
+            c_cable_fails: reg.counter("cable_fails"),
+            c_cable_repairs: reg.counter("cable_repairs"),
+            h_wait: reg.histogram("job_wait_ps"),
+            h_jct: reg.histogram("job_jct_ps"),
+            g_queue_depth,
+            g_running_jobs,
+            g_free_boards,
+            reg,
+            sampler,
+            wait_hist: HistogramU64::new(),
+            jct_hist: HistogramU64::new(),
         }
     }
 
@@ -217,6 +270,15 @@ impl ClusterSim {
             match ev {
                 Event::Arrival(id) => {
                     self.queue.push_back(id);
+                    if self.tel_any {
+                        self.sink.instant_args(
+                            "job_queued",
+                            "cluster",
+                            now,
+                            vec![("job", id as u64)],
+                        );
+                        self.reg.inc(self.c_jobs_queued, 1);
+                    }
                     self.place_queued(now);
                 }
                 Event::Completion { job, generation } => {
@@ -238,9 +300,24 @@ impl ClusterSim {
                 Event::CableRepair { node, port } => {
                     if self.net.topo.restore_link(node, port) {
                         self.repair_events += 1;
+                        if self.tel_any {
+                            self.sink.instant_args(
+                                "cable_repair",
+                                "cluster",
+                                now,
+                                vec![("node", node.0 as u64), ("port", port.0 as u64)],
+                            );
+                            self.reg.inc(self.c_cable_repairs, 1);
+                        }
                         self.rerate_running(now);
                     }
                 }
+            }
+            if self.tel_metrics {
+                self.reg.set(self.g_queue_depth, self.queue.len() as i64);
+                self.reg.set(self.g_running_jobs, self.running.len() as i64);
+                self.reg
+                    .set(self.g_free_boards, self.mesh.free_boards() as i64);
             }
         }
         assert!(
@@ -249,6 +326,17 @@ impl ClusterSim {
             self.queue.len(),
             self.running.len()
         );
+        if self.tel_any {
+            if self.tel_metrics {
+                self.reg.merge_hist(self.h_wait, &self.wait_hist);
+                self.reg.merge_hist(self.h_jct, &self.jct_hist);
+            }
+            let names = self.sampler.gauge_names().to_vec();
+            let samples = self.sampler.take_samples();
+            let reg = std::mem::take(&mut self.reg);
+            let sink = std::mem::replace(&mut self.sink, TraceSink::disabled());
+            hxtelemetry::collect::submit_with_samples(reg, sink, names, samples);
+        }
         let mut jobs: Vec<JobRecord> = self.records.into_values().collect();
         jobs.sort_by_key(|r| r.id);
         let rejected_jobs = jobs.iter().filter(|j| j.rejected).count() as u32;
@@ -277,6 +365,8 @@ impl ClusterSim {
             rejected_jobs,
             defrag_passes: self.defrag_passes,
             sim_invocations: self.sim_invocations,
+            wait_hist: self.wait_hist,
+            jct_hist: self.jct_hist,
         }
     }
 
@@ -287,6 +377,11 @@ impl ClusterSim {
     /// Advance the time integrals to `now` using the state that held on
     /// `[last_metric_ps, now)`.
     fn integrate_metrics(&mut self, now: u64) {
+        if self.tel_metrics {
+            // The gauges still hold the state that ruled on
+            // [last_metric_ps, now), so snapshot before the event mutates.
+            self.sampler.advance(now, &self.reg);
+        }
         let dt = now.saturating_sub(self.last_metric_ps);
         if dt > 0 {
             let dtf = dt as f64;
@@ -352,12 +447,22 @@ impl ClusterSim {
                         // measurements — simulate the boards the job
                         // *now* occupies, not the pre-defrag ones.
                         for (id, r) in self.running.iter_mut() {
-                            r.placement = self
+                            let fresh = self
                                 .mesh
                                 .placement(*id)
                                 // hxlint: allow(P001) defragment() restores or re-places every running job
                                 .expect("running job lost by defragment")
                                 .clone();
+                            if self.tel_any && fresh != r.placement {
+                                self.sink.instant_args(
+                                    "job_preempted",
+                                    "cluster",
+                                    now,
+                                    vec![("job", *id as u64)],
+                                );
+                                self.reg.inc(self.c_jobs_preempted, 1);
+                            }
+                            r.placement = fresh;
                         }
                         self.rerate_running(now);
                         continue; // retry the head on the compacted mesh
@@ -374,6 +479,20 @@ impl ClusterSim {
             .allocate(spec.id, spec.u, spec.v, self.cfg.heuristics)?;
         let (comm_ps, busy) = self.measure_iteration(&placement, spec.grad_bytes);
         let iter_ps = iteration_ps(spec.compute_ps, comm_ps, self.cfg.overlap);
+        if self.tel_any {
+            self.sink.instant_args(
+                "job_placed",
+                "cluster",
+                now,
+                vec![
+                    ("job", spec.id as u64),
+                    ("boards", placement.boards() as u64),
+                    ("rows", placement.rows.len() as u64),
+                    ("cols", placement.cols.len() as u64),
+                ],
+            );
+            self.reg.inc(self.c_jobs_placed, 1);
+        }
         let finish = now + spec.iters as u64 * iter_ps;
         self.events.push(
             finish,
@@ -411,6 +530,8 @@ impl ClusterSim {
             "job {id}: cached placement drifted from the mesh"
         );
         self.mesh.free(id);
+        self.wait_hist.record(r.start_ps - r.spec.arrival_ps);
+        self.jct_hist.record(now - r.spec.arrival_ps);
         self.records.insert(
             id,
             JobRecord {
@@ -441,6 +562,15 @@ impl ClusterSim {
                 continue;
             }
             self.fail_events += 1;
+            if self.tel_any {
+                self.sink.instant_args(
+                    "cable_fail",
+                    "cluster",
+                    now,
+                    vec![("node", node.0 as u64), ("port", port.0 as u64)],
+                );
+                self.reg.inc(self.c_cable_fails, 1);
+            }
             let repair = exponential_ps(self.cfg.mean_repair_ps, &mut self.fail_rng);
             self.events
                 .push(now + repair.max(1), Event::CableRepair { node, port });
@@ -660,6 +790,33 @@ mod tests {
             report.jobs.iter().filter(|j| !j.rejected).count() as u32 + report.rejected_jobs,
             24
         );
+    }
+
+    #[test]
+    fn streaming_histograms_match_job_records() {
+        let report = ClusterSim::new(tiny_cfg()).run();
+        let completed = report.jobs.iter().filter(|j| !j.rejected).count() as u64;
+        assert_eq!(report.wait_hist.count(), completed);
+        assert_eq!(report.jct_hist.count(), completed);
+        // The streaming percentile agrees with a sort within one bucket
+        // (exact below 128 ps, <= 1/64 relative error above).
+        let mut waits: Vec<u64> = report
+            .jobs
+            .iter()
+            .filter(|j| !j.rejected)
+            .map(|j| j.wait_ps())
+            .collect();
+        waits.sort_unstable();
+        for p in [0.5, 0.9, 1.0] {
+            let idx = ((waits.len() as f64 * p).ceil() as usize).clamp(1, waits.len()) - 1;
+            let exact = waits[idx];
+            let streamed = report.wait_percentile_ps(p);
+            assert!(streamed >= exact, "p{p}: {streamed} < {exact}");
+            assert!(
+                streamed - exact <= exact / 64 + 1,
+                "p{p}: {streamed} vs {exact}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub const SIM_STATE_CRATES: &[&str] = &[
     "hxcluster",
     "hxcollect",
     "hxserve",
+    "hxtelemetry",
 ];
 
 /// One catalog entry, also rendered by `--list-rules` and the README.
@@ -34,7 +35,7 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no HashMap/HashSet in sim-state crates: hash iteration order is per-process \
                   (RandomState) and leaks into simulation state; use BTreeMap/BTreeSet",
         scope: "all code in sim-state crates (hxnet, hxsim, hxalloc, hxcluster, hxcollect, \
-                hxserve)",
+                hxserve, hxtelemetry)",
     },
     RuleInfo {
         code: "D002",

@@ -45,6 +45,17 @@ fn d002_fires_on_ambient_entropy_and_clock() {
 }
 
 #[test]
+fn d002_fires_on_wall_clock_driven_samplers() {
+    // The hxtelemetry sampler is deterministic only if it is advanced on
+    // simulated time; stamping it from Instant/SystemTime is the misuse
+    // this pair pins.
+    let bad = lint("d002_sampler_bad", "hxtelemetry", FileKind::Lib);
+    assert_eq!(rules(&bad), ["D002", "D002"], "{bad:?}");
+    assert!(bad[0].message.contains("wall-clock"), "{bad:?}");
+    assert!(lint("d002_sampler_clean", "hxtelemetry", FileKind::Lib).is_empty());
+}
+
+#[test]
 fn d002_does_not_cover_bins() {
     // Bins own the wall-clock (benchmark timing, progress output).
     assert!(lint("d002_bad", "bench", FileKind::Bin).is_empty());

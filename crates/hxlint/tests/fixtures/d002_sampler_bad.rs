@@ -1,0 +1,19 @@
+//! D002 fixture (broken): driving an hxtelemetry sampler off the wall
+//! clock. Sample timestamps must be *simulated* time; stamping the ring
+//! from `Instant`/`SystemTime` makes every artifact byte differ between
+//! runs. Linted as `hxtelemetry` lib code by `tests/fixtures.rs`; never
+//! compiled.
+use hxtelemetry::{Registry, Sampler};
+use std::time::{Instant, SystemTime};
+
+pub fn sample_on_wall_clock(sampler: &mut Sampler, reg: &Registry, epoch: Instant) {
+    let now_ps = Instant::now().duration_since(epoch).as_nanos() as u64 * 1000;
+    sampler.advance(now_ps, reg);
+}
+
+pub fn wall_clock_stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

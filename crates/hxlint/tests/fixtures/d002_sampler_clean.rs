@@ -1,0 +1,17 @@
+//! D002 fixture (clean): the sampler advances on *simulated* time handed
+//! in by the event loop — no clock is ever read, so sample rows depend
+//! only on the seed and the workload.
+use hxtelemetry::{Registry, Sampler};
+
+pub fn sample_on_sim_time(sampler: &mut Sampler, reg: &Registry, sim_now_ps: u64) {
+    sampler.advance(sim_now_ps, reg);
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock in tests is fine: D002 only covers shipped library code.
+    #[test]
+    fn timing_smoke() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -47,6 +47,18 @@ pub const COMMON_FLAGS: &[FlagSpec] = &[
         help: "flow-engine max-min solver scope; bitwise-equivalent, full is the \
                reference for differential tests (default: incremental)",
     },
+    FlagSpec {
+        name: "--metrics-out",
+        value: Some("PATH"),
+        help: "write the deterministic metrics registry (counters, gauges, \
+               histograms, samples) as JSON to PATH",
+    },
+    FlagSpec {
+        name: "--trace-out",
+        value: Some("PATH"),
+        help: "write a Chrome trace-event JSON (Perfetto-loadable) of the run \
+               to PATH",
+    },
 ];
 
 /// Extra flags of the figure harness only.
@@ -157,6 +169,31 @@ pub fn apply_rates(mode: hammingmesh::hxsim::RateMode) {
         hammingmesh::hxsim::RateMode::Incremental => "incremental",
     };
     std::env::set_var("HX_RATES", name);
+}
+
+/// Apply `--metrics-out` / `--trace-out`: enable exactly the channels
+/// that have a destination, so instrumented code costs one branch when
+/// neither flag is given. Call before any simulation is constructed —
+/// engines cache the enabled flags at construction.
+pub fn apply_telemetry(metrics_out: Option<&std::path::Path>, trace_out: Option<&std::path::Path>) {
+    hxtelemetry::collect::set_metrics_enabled(metrics_out.is_some());
+    hxtelemetry::collect::set_trace_enabled(trace_out.is_some());
+}
+
+/// Write the collected telemetry artifacts after a run. Paths mirror
+/// [`apply_telemetry`]; a `None` channel writes nothing. Both files are
+/// byte-identical across thread counts and `--rates` modes.
+pub fn write_telemetry(
+    metrics_out: Option<&std::path::Path>,
+    trace_out: Option<&std::path::Path>,
+) -> std::io::Result<()> {
+    if let Some(path) = metrics_out {
+        hxtelemetry::collect::write_metrics_file(path)?;
+    }
+    if let Some(path) = trace_out {
+        hxtelemetry::collect::write_trace_file(path)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

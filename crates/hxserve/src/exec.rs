@@ -12,6 +12,7 @@ use crate::cache::{self, CacheRecord};
 use crate::spec::{CellKind, CellSpec, Plan, PAPER_SCALE};
 use hammingmesh::experiments::{self, Measurement};
 use hammingmesh::hxnet::{FailureSetId, Network};
+use hammingmesh::hxtelemetry::{self, Registry, TraceSink};
 use rayon::prelude::*;
 use std::path::{Path, PathBuf};
 
@@ -134,6 +135,19 @@ fn fsid_u64(id: FailureSetId) -> u64 {
 
 /// Execute (or recall) one cell.
 fn exec_cell(spec_src: &str, cell: &CellSpec, cache_dir: Option<&Path>) -> CellRow {
+    // Telemetry scope: everything this cell records — including the
+    // engine-level events of the simulations it runs — lands under a
+    // label derived from the cell index, so artifacts are byte-identical
+    // at any thread count.
+    let _tel_scope = hxtelemetry::collect::scope(&format!("cell/{:04}", cell.index));
+    let tel_trace = hxtelemetry::collect::trace_enabled();
+    let tel_metrics = hxtelemetry::collect::metrics_enabled();
+    let tel_any = tel_trace || tel_metrics;
+    let mut sink = TraceSink::new(tel_trace);
+    let mut reg = Registry::new();
+    if tel_any {
+        sink.instant_args("cell_start", "serve", 0, vec![("cell", cell.index as u64)]);
+    }
     // Failure cells draw their cable set first: the cache key includes the
     // set's content fingerprint, so a changed drawing recipe can never be
     // served a stale result. The draw itself is cheap next to the sim.
@@ -155,6 +169,17 @@ fn exec_cell(spec_src: &str, cell: &CellSpec, cache_dir: Option<&Path>) -> CellR
     let key = cache::cell_key(spec_src, &descriptor, failure_set_id);
     if let Some(dir) = cache_dir {
         if let Some(rec) = cache::load(dir, key, &descriptor) {
+            if tel_any {
+                sink.instant_args(
+                    "cell_cache_hit",
+                    "serve",
+                    0,
+                    vec![("cell", cell.index as u64)],
+                );
+                let hits = reg.counter("cell_cache_hits");
+                reg.inc(hits, 1);
+                hxtelemetry::collect::submit(reg, sink);
+            }
             return CellRow {
                 spec: cell.clone(),
                 net: rec.net,
@@ -213,6 +238,11 @@ fn exec_cell(spec_src: &str, cell: &CellSpec, cache_dir: Option<&Path>) -> CellR
                 output: output.clone(),
             },
         );
+    }
+    if tel_any {
+        let computed = reg.counter("cells_computed");
+        reg.inc(computed, 1);
+        hxtelemetry::collect::submit(reg, sink);
     }
     CellRow {
         spec: cell.clone(),

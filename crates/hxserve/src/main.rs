@@ -26,6 +26,8 @@ struct ServeArgs {
     format: Format,
     cache_dir: Option<PathBuf>,
     stats: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     specs: Vec<PathBuf>,
 }
 
@@ -65,6 +67,8 @@ fn parse_cli() -> ServeArgs {
         format: Format::Jsonl,
         cache_dir: Some(PathBuf::from("target/hxserve-cache")),
         stats: None,
+        metrics_out: None,
+        trace_out: None,
         specs: positional.iter().map(PathBuf::from).collect(),
     };
     let mut no_cache = false;
@@ -111,12 +115,15 @@ fn parse_cli() -> ServeArgs {
             "--cache-dir" => out.cache_dir = Some(PathBuf::from(value)),
             "--no-cache" => no_cache = true,
             "--stats" => out.stats = Some(PathBuf::from(value)),
+            "--metrics-out" => out.metrics_out = Some(PathBuf::from(value)),
+            "--trace-out" => out.trace_out = Some(PathBuf::from(value)),
             other => fail_usage(&format!("unhandled flag {other:?}")),
         }
     }
     if no_cache {
         out.cache_dir = None;
     }
+    cli::apply_telemetry(out.metrics_out.as_deref(), out.trace_out.as_deref());
     match (command.as_str(), out.specs.len()) {
         ("run", 1) => {}
         ("run", n) => fail_usage(&format!("run takes exactly one spec, got {n}")),
@@ -183,9 +190,28 @@ fn main() {
         total_hits += result.cache_hits;
         total_misses += result.cache_misses;
     }
+    // Telemetry artifacts, and the wall-clock cost of producing them: the
+    // only wall-clock in this binary, surfaced as `telemetry_overhead_s`
+    // so `--stats` consumers can see what the flags cost end to end.
+    #[allow(clippy::disallowed_methods)] // bin-side wall-clock; results never read it
+    let t0 = std::time::Instant::now();
+    if let Err(e) = cli::write_telemetry(args.metrics_out.as_deref(), args.trace_out.as_deref()) {
+        eprintln!("hxserve: cannot write telemetry artifacts: {e}");
+        std::process::exit(1);
+    }
+    let telemetry_overhead_s = t0.elapsed().as_secs_f64();
     if let Some(path) = &args.stats {
+        let mut counters = String::from("{");
+        for (i, (name, total)) in hxtelemetry::collect::counter_totals().iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&format!("\"{name}\":{total}"));
+        }
+        counters.push('}');
         let body = format!(
-            "{{\"specs\":{},\"cells\":{total_cells},\"cache_hits\":{total_hits},\"cache_misses\":{total_misses}}}\n",
+            "{{\"specs\":{},\"cells\":{total_cells},\"cache_hits\":{total_hits},\"cache_misses\":{total_misses},\
+             \"counters\":{counters},\"telemetry_overhead_s\":{telemetry_overhead_s:.6}}}\n",
             args.specs.len()
         );
         if let Err(e) = std::fs::write(path, body) {

@@ -156,6 +156,48 @@ fn rate_solver_switch_keeps_cache_warm() {
     );
 }
 
+/// Satellite contract of the telemetry tentpole: `--stats` keeps its
+/// legacy fields but gains the registry counter totals and the measured
+/// `telemetry_overhead_s`, and `--metrics-out`/`--trace-out` write a
+/// scope-keyed metrics document and a valid Chrome trace.
+#[test]
+fn stats_gain_registry_counters_and_telemetry_artifacts() {
+    let dir = Workdir::new("telemetry");
+    std::fs::write(dir.path("a.toml"), SPEC_A).unwrap();
+    std::fs::write(dir.path("b.toml"), SPEC_B).unwrap();
+    let metrics_path = dir.path("metrics.json");
+    let trace_path = dir.path("trace.json");
+    let tel_flags = [
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ];
+
+    let (_, cold_stats) = run_batch(&dir, "cold", &tel_flags);
+    let cells = stat(&cold_stats, "cells");
+    assert_eq!(stat(&cold_stats, "cells_computed"), cells, "{cold_stats}");
+    assert!(stat(&cold_stats, "flows_started") > 0, "{cold_stats}");
+    assert!(
+        cold_stats.contains("\"telemetry_overhead_s\":"),
+        "{cold_stats}"
+    );
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("\"cell/0000\""), "{metrics}");
+    assert!(metrics.contains("\"msg_latency_ps\""), "{metrics}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let events = hxtelemetry::validate_chrome_trace(&trace).expect("valid Chrome trace");
+    assert!(events > 0, "trace holds no events");
+
+    // A warm pass surfaces the cache through the trace counters too.
+    let (_, warm_stats) = run_batch(&dir, "warm", &tel_flags);
+    assert_eq!(
+        stat(&warm_stats, "cell_cache_hits"),
+        stat(&warm_stats, "cache_hits"),
+        "{warm_stats}"
+    );
+}
+
 #[test]
 fn run_renders_csv_and_table_formats() {
     let dir = Workdir::new("formats");

@@ -5,6 +5,7 @@ use crate::stats::SimStats;
 use crate::Time;
 use hxnet::route::LoadProbe;
 use hxnet::{Network, NodeId, PortId};
+use hxtelemetry::{CounterId, HistId, Registry, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -137,6 +138,8 @@ struct MsgState {
     delivered_packets: u32,
     injected_packets: u32,
     delivered_bytes: u64,
+    /// Simulated send instant, for the delivery-latency histogram.
+    start_ps: Time,
 }
 
 struct OutPort {
@@ -209,11 +212,24 @@ pub struct Engine<'n> {
     /// this scratch and the per-(port, vc) waiter slots instead of being
     /// freed and reallocated on every credit release.
     waiter_scratch: Vec<(NodeId, PortId)>,
+    /// Telemetry (see `hxtelemetry::collect`). The enabled flags are
+    /// sampled once at construction, so every instrumentation site below
+    /// costs one predictable branch when collection is off.
+    sink: TraceSink,
+    tel_metrics: bool,
+    tel_any: bool,
+    reg: Registry,
+    c_flows_started: CounterId,
+    c_flows_drained: CounterId,
+    c_packet_stalls: CounterId,
+    c_sim_events: CounterId,
+    h_msg_latency: HistId,
 }
 
 impl<'n> Engine<'n> {
     pub fn new(net: &'n Network, cfg: SimConfig) -> Self {
         let num_vcs = net.router.num_vcs().max(1) as usize;
+        let mut reg = Registry::new();
         let nodes = net
             .topo
             .nodes()
@@ -260,6 +276,16 @@ impl<'n> Engine<'n> {
             cand: Vec::new(),
             cmd_scratch: Vec::new(),
             waiter_scratch: Vec::new(),
+            sink: TraceSink::new(hxtelemetry::collect::trace_enabled()),
+            tel_metrics: hxtelemetry::collect::metrics_enabled(),
+            tel_any: hxtelemetry::collect::trace_enabled()
+                || hxtelemetry::collect::metrics_enabled(),
+            c_flows_started: reg.counter("flows_started"),
+            c_flows_drained: reg.counter("flows_drained"),
+            c_packet_stalls: reg.counter("packet_stalls"),
+            c_sim_events: reg.counter("sim_events"),
+            h_msg_latency: reg.histogram("msg_latency_ps"),
+            reg,
         }
     }
 
@@ -324,6 +350,14 @@ impl<'n> Engine<'n> {
                 self.stats.total_link_busy_ps += p.busy_ps;
             }
         }
+        if self.tel_any {
+            if self.tel_metrics {
+                self.reg.inc(self.c_sim_events, self.stats.events);
+            }
+            let reg = std::mem::take(&mut self.reg);
+            let sink = std::mem::replace(&mut self.sink, TraceSink::disabled());
+            hxtelemetry::collect::submit(reg, sink);
+        }
         self.stats
     }
 
@@ -353,6 +387,17 @@ impl<'n> Engine<'n> {
         let dst_node = self.net.endpoints[dst as usize];
         let msg_id = self.msgs.len() as MsgId;
         let num_packets = bytes.div_ceil(self.cfg.packet_bytes) as u32;
+        if self.sink.enabled() {
+            self.sink.instant_args(
+                "flow_start",
+                "packet",
+                self.now,
+                vec![("src", src as u64), ("dst", dst as u64), ("bytes", bytes)],
+            );
+        }
+        if self.tel_metrics {
+            self.reg.inc(self.c_flows_started, 1);
+        }
         self.msgs.push(MsgState {
             info: MsgInfo {
                 src_rank: src,
@@ -364,6 +409,7 @@ impl<'n> Engine<'n> {
             delivered_packets: 0,
             injected_packets: 0,
             delivered_bytes: 0,
+            start_ps: self.now,
         });
         self.stats.messages_sent += 1;
         let mut remaining = bytes;
@@ -547,6 +593,21 @@ impl<'n> Engine<'n> {
                 if op.stalled_mask & (1 << vc) == 0 {
                     op.stalled_mask |= 1 << vc;
                     self.nodes[peer.node.idx()].waiters[slot].push((node, port));
+                    if self.sink.enabled() {
+                        self.sink.instant_args(
+                            "packet_stall",
+                            "packet",
+                            self.now,
+                            vec![
+                                ("node", node.idx() as u64),
+                                ("port", port.idx() as u64),
+                                ("vc", vc as u64),
+                            ],
+                        );
+                    }
+                    if self.tel_metrics {
+                        self.reg.inc(self.c_packet_stalls, 1);
+                    }
                 }
                 continue;
             }
@@ -675,6 +736,20 @@ impl<'n> Engine<'n> {
             if m.delivered_packets == m.num_packets {
                 debug_assert_eq!(m.delivered_bytes, m.info.bytes);
                 let info = m.info;
+                let start_ps = m.start_ps;
+                if self.tel_metrics {
+                    self.reg
+                        .record(self.h_msg_latency, self.now.saturating_sub(start_ps));
+                    self.reg.inc(self.c_flows_drained, 1);
+                }
+                if self.sink.enabled() {
+                    self.sink.instant_args(
+                        "flow_drain",
+                        "packet",
+                        self.now,
+                        vec![("src", info.src_rank as u64), ("dst", info.dst_rank as u64)],
+                    );
+                }
                 self.stats.messages_delivered += 1;
                 // Pre-sized in `new` to one slot per rank.
                 self.stats.rank_recv_done_ps[info.dst_rank as usize] = self.now;

@@ -65,6 +65,7 @@ use crate::stats::SimStats;
 use crate::{RateMode, SimConfig, Time};
 use hxnet::route::Hop;
 use hxnet::{Network, NodeId, PortId};
+use hxtelemetry::{CounterId, HistId, Registry, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -121,6 +122,8 @@ struct FlowState {
 struct MsgState {
     info: MsgInfo,
     done: bool,
+    /// Simulated send instant, for the delivery-latency histogram.
+    start_ps: Time,
 }
 
 /// Timed events that are not flow drains (those are derived from rates).
@@ -223,6 +226,24 @@ pub struct FlowEngine<'n> {
     cand: Vec<Hop>,
     /// Scratch for waypoint classes.
     waypoints: Vec<NodeId>,
+    /// Telemetry (see `hxtelemetry::collect`). The enabled flags are
+    /// sampled once at construction, so every instrumentation site below
+    /// costs one predictable branch when collection is off.
+    sink: TraceSink,
+    tel_metrics: bool,
+    tel_any: bool,
+    reg: Registry,
+    c_flows_started: CounterId,
+    c_flows_drained: CounterId,
+    c_rate_epochs: CounterId,
+    c_rate_changed: CounterId,
+    c_sim_events: CounterId,
+    h_msg_latency: HistId,
+    /// `(flow, pre-fill rate bits)` scratch for the mode-invariant
+    /// touched-flow count (see `recompute_rates`).
+    old_rate_scratch: Vec<(FlowId, u64)>,
+    /// Flows whose rate bit pattern changed in the current epoch.
+    epoch_changed: u64,
 }
 
 impl<'n> FlowEngine<'n> {
@@ -234,6 +255,7 @@ impl<'n> FlowEngine<'n> {
             total += n.ports.len();
         }
         port_base.push(total);
+        let mut reg = Registry::new();
         let mut link_cap = vec![0.0; total];
         let mut link_owner = vec![(NodeId(0), PortId(0)); total];
         for (id, n) in net.topo.nodes() {
@@ -282,6 +304,19 @@ impl<'n> FlowEngine<'n> {
             },
             cand: Vec::new(),
             waypoints: Vec::new(),
+            sink: TraceSink::new(hxtelemetry::collect::trace_enabled()),
+            tel_metrics: hxtelemetry::collect::metrics_enabled(),
+            tel_any: hxtelemetry::collect::trace_enabled()
+                || hxtelemetry::collect::metrics_enabled(),
+            c_flows_started: reg.counter("flows_started"),
+            c_flows_drained: reg.counter("flows_drained"),
+            c_rate_epochs: reg.counter("rate_epochs"),
+            c_rate_changed: reg.counter("rate_changed_flows"),
+            c_sim_events: reg.counter("sim_events"),
+            h_msg_latency: reg.histogram("msg_latency_ps"),
+            reg,
+            old_rate_scratch: Vec::new(),
+            epoch_changed: 0,
         }
     }
 
@@ -350,6 +385,14 @@ impl<'n> FlowEngine<'n> {
 
         self.stats.finish_ps = self.now.round() as Time;
         self.stats.undelivered_messages = self.msgs.iter().filter(|m| !m.done).count();
+        if self.tel_any {
+            if self.tel_metrics {
+                self.reg.inc(self.c_sim_events, self.stats.events);
+            }
+            let reg = std::mem::take(&mut self.reg);
+            let sink = std::mem::replace(&mut self.sink, TraceSink::disabled());
+            hxtelemetry::collect::submit(reg, sink);
+        }
         self.stats
     }
 
@@ -450,6 +493,17 @@ impl<'n> FlowEngine<'n> {
 
             let info = self.msgs[msg as usize].info;
             let now_ps = self.now.round() as Time;
+            if self.sink.enabled() {
+                self.sink.instant_args(
+                    "flow_drain",
+                    "flow",
+                    now_ps,
+                    vec![("src", info.src_rank as u64), ("dst", info.dst_rank as u64)],
+                );
+            }
+            if self.tel_metrics {
+                self.reg.inc(self.c_flows_drained, 1);
+            }
             {
                 let mut ctx = Ctx::new(now_ps, &mut cmds);
                 app.on_send_complete(&mut ctx, info);
@@ -484,6 +538,11 @@ impl<'n> FlowEngine<'n> {
                     debug_assert!(!m.done);
                     m.done = true;
                     let info = m.info;
+                    let start_ps = m.start_ps;
+                    if self.tel_metrics {
+                        self.reg
+                            .record(self.h_msg_latency, now_ps.saturating_sub(start_ps));
+                    }
                     self.stats.messages_delivered += 1;
                     self.stats.bytes_delivered += info.bytes;
                     // Pre-sized in `new` to one slot per rank.
@@ -530,6 +589,18 @@ impl<'n> FlowEngine<'n> {
         let dst_node = self.net.endpoints[dst as usize];
         let msg_id = self.msgs.len() as MsgId;
         self.stats.messages_sent += 1;
+        let start_ps = self.now.round() as Time;
+        if self.sink.enabled() {
+            self.sink.instant_args(
+                "flow_start",
+                "flow",
+                start_ps,
+                vec![("src", src as u64), ("dst", dst as u64), ("bytes", bytes)],
+            );
+        }
+        if self.tel_metrics {
+            self.reg.inc(self.c_flows_started, 1);
+        }
         self.msgs.push(MsgState {
             info: MsgInfo {
                 src_rank: src,
@@ -538,6 +609,7 @@ impl<'n> FlowEngine<'n> {
                 tag,
             },
             done: false,
+            start_ps,
         });
 
         // Route classes: direct, plus each router-provided waypoint.
@@ -822,6 +894,26 @@ impl<'n> FlowEngine<'n> {
                 self.stats.rate_recomputes_component += 1;
             }
         }
+        // Telemetry counts flows whose rate *bit pattern changed* this
+        // epoch — not the solver-effort counters above, which depend on
+        // [`RateMode`]. A component refilled to identical bits (the Full
+        // mode's widened walk) contributes nothing, so this count — and
+        // the `rate_epoch` trace — is bitwise mode-invariant.
+        if self.tel_any && self.epoch_changed > 0 {
+            if self.sink.enabled() {
+                self.sink.instant_args(
+                    "rate_epoch",
+                    "flow",
+                    self.now.round() as Time,
+                    vec![("touched_flows", self.epoch_changed)],
+                );
+            }
+            if self.tel_metrics {
+                self.reg.inc(self.c_rate_epochs, 1);
+                self.reg.inc(self.c_rate_changed, self.epoch_changed);
+            }
+        }
+        self.epoch_changed = 0;
         if self.cfg.trace_rates {
             self.record_rate_trace();
         }
@@ -907,6 +999,10 @@ impl<'n> FlowEngine<'n> {
         for &(f, ri) in comp.iter() {
             let f = f as usize;
             if ri == 0 {
+                if self.tel_any {
+                    self.old_rate_scratch
+                        .push((f as FlowId, self.flows[f].rate.to_bits()));
+                }
                 self.flows[f].rate = 0.0;
             }
             self.flows[f].routes[ri as usize].rate = -1.0; // sentinel: unassigned
@@ -963,6 +1059,15 @@ impl<'n> FlowEngine<'n> {
                 false
             });
             debug_assert!(comp.len() < before, "water-filling stalled");
+        }
+        if self.tel_any {
+            let mut scratch = std::mem::take(&mut self.old_rate_scratch);
+            for (f, old_bits) in scratch.drain(..) {
+                if self.flows[f as usize].rate.to_bits() != old_bits {
+                    self.epoch_changed += 1;
+                }
+            }
+            self.old_rate_scratch = scratch;
         }
     }
 }

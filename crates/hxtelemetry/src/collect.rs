@@ -1,0 +1,345 @@
+//! Process-global, scope-keyed telemetry collection.
+//!
+//! Engines and drivers never share mutable telemetry state on the hot
+//! path: each deterministic unit of work (a scenario cell, a sweep load
+//! point, a whole figure run) records into *local* [`Registry`] /
+//! [`TraceSink`] values and [`submit`]s them once when the unit retires,
+//! under the scope label installed by [`scope`]. Because scope labels are
+//! derived from stable identities (cell index, load name) — never from
+//! thread ids or arrival order — and the artifact writers iterate the
+//! scope map in sorted order, `--metrics-out` / `--trace-out` files are
+//! byte-identical at any `RAYON_NUM_THREADS` by construction.
+//!
+//! Both collection channels are off by default; a disabled channel makes
+//! [`submit`] a no-op and lets instrumented code skip recording entirely
+//! (engines cache [`trace_enabled`] / [`metrics_enabled`] into local
+//! flags at construction, so the steady-state disabled cost is one
+//! branch per event site).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::registry::{Registry, Sample};
+use crate::trace::{escape_json, write_chrome_trace, TraceEvent, TraceSink};
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+static STORE: Mutex<BTreeMap<String, ScopeData>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static SCOPE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Everything submitted under one scope label, merged across submissions.
+#[derive(Debug, Default)]
+pub struct ScopeData {
+    pub registry: Registry,
+    pub events: Vec<TraceEvent>,
+    pub sampler_gauges: Vec<String>,
+    pub samples: Vec<Sample>,
+}
+
+/// Enable/disable trace collection process-wide.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
+/// Enable/disable metrics collection process-wide.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ON.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Installs `label` as the current thread's telemetry scope until the
+/// guard drops. Scopes nest; submissions land under the innermost label.
+#[must_use = "the scope ends when the guard drops"]
+pub struct ScopeGuard(());
+
+/// Enter a telemetry scope. Labels must be a deterministic function of
+/// the work unit (e.g. `cell/0007`, `load/heavy`) — never of scheduling.
+pub fn scope(label: &str) -> ScopeGuard {
+    SCOPE.with(|s| s.borrow_mut().push(label.to_string()));
+    ScopeGuard(())
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+fn current_scope() -> String {
+    SCOPE
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_else(|| "main".to_string())
+}
+
+fn lock_store() -> std::sync::MutexGuard<'static, BTreeMap<String, ScopeData>> {
+    // A poisoned store just means another thread panicked mid-submit;
+    // telemetry state is still structurally sound, so keep going.
+    STORE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Merge a finished unit's registry and trace events into the global
+/// store under the current scope. No-op when both channels are disabled.
+pub fn submit(registry: Registry, sink: TraceSink) {
+    submit_with_samples(registry, sink, Vec::new(), Vec::new());
+}
+
+/// [`submit`], plus a sampler's gauge columns and drained ring.
+pub fn submit_with_samples(
+    registry: Registry,
+    sink: TraceSink,
+    sampler_gauges: Vec<String>,
+    samples: Vec<Sample>,
+) {
+    if !trace_enabled() && !metrics_enabled() {
+        return;
+    }
+    let key = current_scope();
+    let mut store = lock_store();
+    let data = store.entry(key).or_default();
+    if metrics_enabled() {
+        data.registry.merge(&registry);
+        if !samples.is_empty() {
+            data.sampler_gauges = sampler_gauges;
+            data.samples.extend(samples);
+        }
+    }
+    if trace_enabled() {
+        data.events.extend(sink.into_events());
+    }
+}
+
+/// Clear all collected state (tests and back-to-back in-process runs).
+pub fn reset() {
+    lock_store().clear();
+}
+
+/// Total of every counter named `name`, summed across scopes.
+pub fn counter_total(name: &str) -> u64 {
+    let store = lock_store();
+    store
+        .values()
+        .map(|d| {
+            d.registry
+                .counters_sorted()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, v)| *v)
+        })
+        .sum()
+}
+
+/// All counters summed across scopes, as `(name, total)` sorted by name.
+pub fn counter_totals() -> Vec<(String, u64)> {
+    let store = lock_store();
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for data in store.values() {
+        for (name, v) in data.registry.counters_sorted() {
+            *totals.entry(name.to_string()).or_insert(0) += v;
+        }
+    }
+    totals.into_iter().collect()
+}
+
+/// Render all collected metrics as a deterministic JSON document:
+/// scopes sorted by label; counters/gauges/histograms sorted by name;
+/// histogram summaries from the streaming buckets; sampler rows in ring
+/// order. Bytes depend only on submitted data.
+pub fn render_metrics() -> String {
+    let store = lock_store();
+    let mut out = String::from("{\"scopes\":{");
+    for (si, (label, data)) in store.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n\"{}\":{{", escape_json(label)));
+        out.push_str("\"counters\":{");
+        for (i, (name, v)) in data.registry.counters_sorted().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in data.registry.gauges_sorted().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(name), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in data.registry.hists_sorted().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                escape_json(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.percentile(0.5),
+                h.percentile(0.9),
+                h.percentile(0.99),
+                h.max()
+            ));
+        }
+        out.push_str("},\"samples\":{\"gauges\":[");
+        for (i, g) in data.sampler_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape_json(g)));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, s) in data.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&s.ts_ps.to_string());
+            for v in &s.values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push(']');
+        }
+        out.push_str("]}}");
+    }
+    out.push_str("\n}}\n");
+    out
+}
+
+/// Render all collected trace events as one Chrome trace-event JSON
+/// document (scopes sorted by label → stable pids).
+pub fn render_trace() -> io::Result<String> {
+    let store = lock_store();
+    let scopes: Vec<(&str, &[TraceEvent])> = store
+        .iter()
+        .map(|(label, data)| (label.as_str(), data.events.as_slice()))
+        .collect();
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, &scopes)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Write the metrics document to `path`.
+pub fn write_metrics_file(path: &Path) -> io::Result<()> {
+    let doc = render_metrics();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.as_bytes())
+}
+
+/// Write the Chrome trace document to `path`.
+pub fn write_trace_file(path: &Path) -> io::Result<()> {
+    let doc = render_trace()?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::validate_chrome_trace;
+    use std::sync::{Mutex as TestMutex, OnceLock};
+
+    /// The store and enable flags are process-global; serialize the tests
+    /// that touch them so `cargo test`'s parallel runner can't interleave.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<TestMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| TestMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn one_unit(scope_label: &str, latency: u64) {
+        let _s = scope(scope_label);
+        let mut reg = Registry::new();
+        let c = reg.counter("flows_started");
+        let h = reg.histogram("msg_latency_ps");
+        reg.inc(c, 1);
+        reg.record(h, latency);
+        let mut sink = TraceSink::new(trace_enabled());
+        sink.instant("flow_start", "flow", latency);
+        submit(reg, sink);
+    }
+
+    #[test]
+    fn disabled_channels_drop_submissions() {
+        let _g = guard();
+        set_trace_enabled(false);
+        set_metrics_enabled(false);
+        reset();
+        one_unit("cell/0000", 10);
+        assert_eq!(render_metrics(), "{\"scopes\":{\n}}\n");
+    }
+
+    #[test]
+    fn artifacts_are_invariant_to_submission_order() {
+        let _g = guard();
+        set_trace_enabled(true);
+        set_metrics_enabled(true);
+        reset();
+        one_unit("cell/0001", 200);
+        one_unit("cell/0000", 100);
+        let forward = (render_metrics(), render_trace().expect("trace"));
+        reset();
+        one_unit("cell/0000", 100);
+        one_unit("cell/0001", 200);
+        let reverse = (render_metrics(), render_trace().expect("trace"));
+        assert_eq!(
+            forward, reverse,
+            "scope-keyed artifacts must not depend on order"
+        );
+        assert!(validate_chrome_trace(&forward.1).is_ok());
+        set_trace_enabled(false);
+        set_metrics_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn counter_totals_sum_across_scopes() {
+        let _g = guard();
+        set_trace_enabled(false);
+        set_metrics_enabled(true);
+        reset();
+        one_unit("cell/0000", 10);
+        one_unit("cell/0001", 20);
+        assert_eq!(counter_total("flows_started"), 2);
+        assert_eq!(counter_totals(), vec![("flows_started".to_string(), 2)]);
+        set_metrics_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let _g = guard();
+        assert_eq!(current_scope(), "main");
+        {
+            let _a = scope("outer");
+            assert_eq!(current_scope(), "outer");
+            {
+                let _b = scope("inner");
+                assert_eq!(current_scope(), "inner");
+            }
+            assert_eq!(current_scope(), "outer");
+        }
+        assert_eq!(current_scope(), "main");
+    }
+}
