@@ -12,6 +12,13 @@
 //! backend (`flow` default; `packet` for spot-checks), `--csv PATH`
 //! records per-job rows plus one summary row per load point — the output
 //! is byte-for-byte reproducible for a fixed seed.
+//!
+//! `--mode in-situ` switches fail/repair handling from the frozen-epoch
+//! re-rate to in-situ interrupted-iteration measurement: each event is
+//! injected *mid-simulation* into the iteration every running job had in
+//! flight, flows re-route inside the run, and the table gains a
+//! `reroutes` column. The default path (no `--mode`) is untouched and
+//! its CSV stays byte-identical.
 
 use hammingmesh::hxalloc::workload::JobSizeDistribution;
 use hammingmesh::hxcluster::{ClusterConfig, ClusterReport, ClusterSim};
@@ -24,6 +31,14 @@ const MS: u64 = 1_000_000_000;
 fn main() {
     let args = HarnessArgs::parse();
     let engine = args.engine();
+    let in_situ = match args.mode.as_deref() {
+        None => false,
+        Some("in-situ") => true,
+        Some(other) => {
+            eprintln!("unknown mode {other:?} (cluster_sweep accepts --mode in-situ)");
+            std::process::exit(2);
+        }
+    };
     let (side, num_jobs) = if args.full { (16, 120) } else { (8, 40) };
     let num_jobs = args.traces.unwrap_or(num_jobs);
     let mesh = HxMeshParams::square(2, side);
@@ -36,11 +51,16 @@ fn main() {
     // where jobs queue behind the giants.
     let loads: &[(&str, u64)] = &[("light", 40 * MS), ("medium", 12 * MS), ("heavy", 5 * MS)];
 
+    let recovery = if in_situ {
+        "in-situ mid-run cable fail/repair"
+    } else {
+        "mid-run cable fail/repair"
+    };
     header(&format!(
         "Cluster sweep — {side}x{side} Hx2Mesh ({boards} boards), {num_jobs} jobs/load, \
-         {engine} engine, mid-run cable fail/repair"
+         {engine} engine, {recovery}"
     ));
-    println!(
+    let mut head = format!(
         "{:<8} {:>9} {:>10} {:>10} {:>8} {:>8} {:>9} {:>6} {:>7} {:>7}",
         "load",
         "makespan",
@@ -53,6 +73,10 @@ fn main() {
         "resims",
         "defrag"
     );
+    if in_situ {
+        head.push_str(&format!(" {:>8}", "reroutes"));
+    }
+    println!("{head}");
 
     // The load points are independent simulations: run them on the
     // thread pool, then emit every load level's rows strictly in load
@@ -76,6 +100,7 @@ fn main() {
                 },
                 engine,
                 seed: args.seed,
+                in_situ_failures: in_situ,
                 ..ClusterConfig::quick()
             };
             #[allow(clippy::disallowed_methods)] // wall-clock progress chatter on stderr
@@ -89,7 +114,7 @@ fn main() {
     csv.push('\n');
     for (label, report, wall_s) in &reports {
         eprintln!("[cluster_sweep {label}] {wall_s:.2}s");
-        println!(
+        let mut row = format!(
             "{:<8} {:>8.1}ms {:>8.2}ms {:>8.2}ms {:>8.3} {:>8.3} {:>9.4} {:>6} {:>7} {:>7}",
             label,
             report.makespan_ps as f64 / MS as f64,
@@ -102,6 +127,10 @@ fn main() {
             report.resims,
             report.defrag_passes,
         );
+        if in_situ {
+            row.push_str(&format!(" {:>8}", report.flows_rerouted));
+        }
+        println!("{row}");
         report.write_csv(label, &mut csv);
     }
     if let Some(path) = &args.csv {

@@ -214,7 +214,71 @@ fn main() {
     eprintln!("[perf_smoke] wrote {}", p.display());
 
     write_bench_obs(&out_dir, quick, &net, a2a_bytes);
+    write_bench_fault(&out_dir, quick, &net, a2a_bytes);
     write_bench_par(&out_dir, quick);
+}
+
+/// The mid-run failure machinery's no-op gate: the fig11 alltoall flow
+/// run with no schedule — the baseline configuration every figure sweep
+/// uses — against the same run with a [`hammingmesh::hxsim::FailureSchedule`] armed whose
+/// events all land far beyond the horizon. The no-schedule run IS the
+/// baseline, so this gate pins the cost of carrying schedule support in
+/// the engines at all; an armed-but-inert schedule costs one comparison
+/// per epoch-loop iteration and must sit within measurement noise
+/// (<= 1.05x). `BENCH_fault.json` records both walls and the gate.
+fn write_bench_fault(out_dir: &std::path::Path, quick: bool, net: &Network, bytes: u64) {
+    use hammingmesh::hxsim::FailureSchedule;
+    let wall = |sched: &FailureSchedule| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            #[allow(clippy::disallowed_methods)] // wall-clock is this bin's product
+            let t0 = Instant::now();
+            let m = experiments::alltoall_bandwidth_cfg(
+                net,
+                bytes,
+                2,
+                EngineKind::Flow,
+                SimConfig {
+                    failures: sched.clone(),
+                    ..SimConfig::default()
+                },
+            );
+            assert!(m.clean, "fig11 flow run did not deliver all traffic");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let baseline = wall(&FailureSchedule::default());
+    let (node, port) = net.topo.cables()[0];
+    const BEYOND_HORIZON_PS: u64 = 1_000_000_000_000_000;
+    let armed = FailureSchedule::new()
+        .fail(BEYOND_HORIZON_PS, node, port)
+        .repair(BEYOND_HORIZON_PS + 1_000, node, port);
+    let armed_wall = wall(&armed);
+    let ratio = armed_wall / baseline.max(1e-9);
+    eprintln!(
+        "[perf_smoke] fault: no-schedule {baseline:.3}s, armed-inert {armed_wall:.3}s \
+         ({ratio:.3}x)"
+    );
+    let mut json = String::new();
+    json.push_str("{\n  \"generated_by\": \"perf_smoke\",\n");
+    json.push_str(
+        "  \"scenario\": \"balanced-shift alltoall, flow engine, Hx2Mesh 64 endpoints, \
+         min-of-3 walls in one process; armed schedule fires beyond the horizon\",\n",
+    );
+    writeln!(json, "  \"no_schedule_wall_s\": {baseline:.4},").unwrap();
+    writeln!(json, "  \"armed_inert_wall_s\": {armed_wall:.4},").unwrap();
+    writeln!(json, "  \"ratio\": {ratio:.4},").unwrap();
+    writeln!(
+        json,
+        "  \"gate\": {{\"max_ratio\": 1.05, \"enforced\": {}}}",
+        !quick
+    )
+    .unwrap();
+    json.push_str("}\n");
+    let path = out_dir.join("BENCH_fault.json");
+    std::fs::write(&path, &json).expect("write BENCH_fault.json");
+    eprintln!("[perf_smoke] wrote {}", path.display());
 }
 
 /// The observability overhead gate: the fig11 alltoall flow run measured

@@ -103,6 +103,10 @@ impl HarnessArgs {
                     Ok(m) => cli::apply_rates(m),
                     Err(msg) => fail(msg),
                 },
+                "--retransmit" => match value.parse() {
+                    Ok(p) => cli::apply_retransmit(p),
+                    Err(msg) => fail(msg),
+                },
                 "--mode" => out.mode = Some(value.to_string()),
                 "--csv" => out.csv = Some(std::path::PathBuf::from(value)),
                 "--metrics-out" => out.metrics_out = Some(std::path::PathBuf::from(value)),

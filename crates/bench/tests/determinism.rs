@@ -100,6 +100,33 @@ fn fig10_routed_is_thread_count_invariant() {
     );
 }
 
+/// The frozen-vs-mid-flight failure comparison: every cell runs a
+/// mid-run [`FailureSchedule`] through one of the engines (flow re-route
+/// and re-rate, packet drop and retransmit), and the whole recovery
+/// machinery must still collect in grid order at any thread count. The
+/// rate-solver leg extends the differential suite's bitwise claim to the
+/// mid-run epoch path: re-rating flows around in-run link events with the
+/// O(affected) incremental solver must not change a byte of the table or
+/// the per-draw CSV relative to the full solver.
+#[test]
+fn fig10_midrun_is_thread_and_rate_solver_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig10_midrun");
+    assert_thread_count_invariant(exe, &["--rates", "incremental"], true);
+    let (inc, csv_inc) = run(exe, &["--rates", "incremental"], 1, true);
+    let (full, csv_full) = run(exe, &["--rates", "full"], 1, true);
+    assert!(
+        inc == full,
+        "fig10_midrun: stdout differs between --rates incremental and --rates full\n\
+         --- incremental ---\n{}\n--- full ---\n{}",
+        String::from_utf8_lossy(&inc),
+        String::from_utf8_lossy(&full),
+    );
+    assert_eq!(
+        csv_inc, csv_full,
+        "fig10_midrun: CSV differs between --rates incremental and --rates full"
+    );
+}
+
 /// Fig. 11's (topology x message-size) alltoall grid: independent cells
 /// on the pool, table reassembled in grid order. No CSV on this binary —
 /// the printed table is the entire artifact.

@@ -108,6 +108,16 @@ fn fig14_stdout_and_csv_match_pre_redesign_goldens() {
 }
 
 #[test]
+fn fig10_midrun_stdout_and_csv_match_goldens() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig10_midrun"),
+        &[],
+        "fig10_midrun.stdout",
+        Some("fig10_midrun.csv"),
+    );
+}
+
+#[test]
 fn fig10_routed_stdout_and_csv_match_pre_redesign_goldens() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_fig10_failures"),

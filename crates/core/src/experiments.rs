@@ -146,9 +146,22 @@ pub fn alltoall_bandwidth_on(
     window: u32,
     engine: EngineKind,
 ) -> Measurement {
+    alltoall_bandwidth_cfg(net, bytes, window, engine, SimConfig::default())
+}
+
+/// [`alltoall_bandwidth_on`] under an explicit [`SimConfig`] — the entry
+/// point for fault-injection sweeps, which carry a mid-run
+/// `FailureSchedule` (and possibly a retransmit policy) in the config.
+pub fn alltoall_bandwidth_cfg(
+    net: &Network,
+    bytes: u64,
+    window: u32,
+    engine: EngineKind,
+    cfg: SimConfig,
+) -> Measurement {
     let p = net.num_ranks();
     let mut app = Alltoall::new(p, bytes, window);
-    let stats = simulate(net, SimConfig::default(), engine, &mut app);
+    let stats = simulate(net, cfg, engine, &mut app);
     let per_rank = app.bytes_per_rank();
     let inj = net.injection_bytes_per_ps(0);
     Measurement {

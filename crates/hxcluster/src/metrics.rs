@@ -56,6 +56,11 @@ pub struct ClusterReport {
     pub repair_events: u32,
     /// Total job re-ratings triggered by failure-epoch advances.
     pub resims: u32,
+    /// Flow re-routes observed inside in-situ interrupted-iteration
+    /// simulations (always 0 under the default frozen-epoch model —
+    /// see `ClusterConfig::in_situ_failures`). Deliberately not a CSV
+    /// column: the legacy `cluster_sweep` output stays byte-identical.
+    pub flows_rerouted: u64,
     /// Jobs whose shape could never fit the mesh.
     pub rejected_jobs: u32,
     /// Defragmentation passes triggered by blocked head-of-queue jobs.

@@ -29,8 +29,8 @@ use hxcollect::allreduce::job_allreduce;
 use hxcollect::simapp::ScheduleApp;
 use hxnet::graph::FailureSetId;
 use hxnet::hammingmesh::{HxCoord, HxMeshParams};
-use hxnet::Network;
-use hxsim::{simulate, EngineKind, SimConfig};
+use hxnet::{Network, NodeId, PortId};
+use hxsim::{simulate, EngineKind, FailureSchedule, LinkEventKind, SimConfig, SimStats};
 use hxtelemetry::{CounterId, GaugeId, HistId, HistogramU64, Registry, Sampler, TraceSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -68,6 +68,13 @@ pub struct ClusterConfig {
     pub mean_fail_interval_ps: Option<u64>,
     /// Mean repair time of a failed cable.
     pub mean_repair_ps: u64,
+    /// Measure the iteration *interrupted* by each fail/repair event with
+    /// an in-situ [`FailureSchedule`] — the event lands mid-flight at the
+    /// job's fractional position, flows re-route (or packets retransmit)
+    /// inside the simulation, and the extra cost over the frozen-epoch
+    /// model is charged to that job once. `false` (the default) keeps the
+    /// classic frozen-epoch re-rate and byte-identical legacy output.
+    pub in_situ_failures: bool,
     /// Simulation backend for iteration timing.
     pub engine: EngineKind,
     /// Master seed: arrivals, sizes, failure draws, and the network
@@ -95,6 +102,7 @@ impl ClusterConfig {
             defrag_on_block: true,
             mean_fail_interval_ps: Some(200 * MS),
             mean_repair_ps: 150 * MS,
+            in_situ_failures: false,
             engine: EngineKind::Flow,
             seed: 0xC0FFEE,
         }
@@ -115,6 +123,10 @@ struct Running {
     last_update_ps: u64,
     /// Current full iteration time (compute + exposed communication).
     iter_ps: u64,
+    /// Communication part of the current iteration (pre-overlap), kept so
+    /// an in-situ event can be placed at the job's fractional position
+    /// inside the communication phase.
+    comm_ps: u64,
     /// Busy directed-link picoseconds one iteration contributes.
     busy_per_iter: u64,
     /// Invalidates stale completion events after a re-rate.
@@ -153,6 +165,8 @@ pub struct ClusterSim {
     resims: u32,
     defrag_passes: u32,
     sim_invocations: u32,
+    /// Flow re-routes observed inside in-situ interrupted-iteration sims.
+    flows_rerouted: u64,
     // Telemetry. The enabled flags are cached at construction so every
     // hot-path site costs one branch when the channels are off.
     sink: TraceSink,
@@ -233,6 +247,7 @@ impl ClusterSim {
             resims: 0,
             defrag_passes: 0,
             sim_invocations: 0,
+            flows_rerouted: 0,
             sink: TraceSink::new(trace),
             tel_metrics,
             tel_any: trace || tel_metrics,
@@ -309,7 +324,7 @@ impl ClusterSim {
                             );
                             self.reg.inc(self.c_cable_repairs, 1);
                         }
-                        self.rerate_running(now);
+                        self.rerate_with_event(now, Some((node, port, LinkEventKind::Repair)));
                     }
                 }
             }
@@ -362,6 +377,7 @@ impl ClusterSim {
             fail_events: self.fail_events,
             repair_events: self.repair_events,
             resims: self.resims,
+            flows_rerouted: self.flows_rerouted,
             rejected_jobs,
             defrag_passes: self.defrag_passes,
             sim_invocations: self.sim_invocations,
@@ -510,6 +526,7 @@ impl ClusterSim {
                 done_iters: 0.0,
                 last_update_ps: now,
                 iter_ps,
+                comm_ps,
                 busy_per_iter: busy,
                 generation: 0,
                 resims: 0,
@@ -574,17 +591,75 @@ impl ClusterSim {
             let repair = exponential_ps(self.cfg.mean_repair_ps, &mut self.fail_rng);
             self.events
                 .push(now + repair.max(1), Event::CableRepair { node, port });
-            self.rerate_running(now);
+            self.rerate_with_event(now, Some((node, port, LinkEventKind::Fail)));
             return;
         }
         // Every remaining cable is load-bearing: skip this failure draw.
     }
 
-    /// The failure epoch (or a defrag) moved: bank each running job's
-    /// progress at its old rate, re-measure its iteration time on the
-    /// current network, and schedule a fresh completion.
+    /// A defrag moved the placements: bank each running job's progress at
+    /// its old rate, re-measure its iteration time on the current network,
+    /// and schedule a fresh completion.
     fn rerate_running(&mut self, now: u64) {
+        self.rerate_with_event(now, None);
+    }
+
+    /// The failure epoch moved (or, with `event = None`, a defrag moved
+    /// the placements): bank each running job's progress at its old rate,
+    /// re-measure its iteration time on the current network, and schedule
+    /// a fresh completion. With `in_situ_failures` on and a link event at
+    /// hand, the iteration each job had in flight is additionally
+    /// measured *in situ* — simulated from the pre-event epoch with the
+    /// event injected at the job's fractional position, so flows re-route
+    /// (or packets retransmit) inside the run — and the measured excess
+    /// over the frozen-epoch model is charged to that job's finish time.
+    fn rerate_with_event(&mut self, now: u64, event: Option<(NodeId, PortId, LinkEventKind)>) {
         let ids: Vec<u32> = self.running.keys().copied().collect(); // id order
+
+        // In-situ pass: the communication time of each interrupted
+        // iteration, keyed by job. Runs on the pre-event topology.
+        let mut interrupted: BTreeMap<u32, u64> = BTreeMap::new();
+        if self.cfg.in_situ_failures {
+            if let Some((node, port, kind)) = event {
+                // Flip the link back to the state the in-flight iterations
+                // started under; the event then lands mid-simulation.
+                let flipped = match kind {
+                    LinkEventKind::Fail => self.net.topo.restore_link(node, port),
+                    LinkEventKind::Repair => self.net.topo.fail_link(node, port),
+                };
+                debug_assert!(flipped, "epoch event did not change the link");
+                for &id in &ids {
+                    let (placement, grad_bytes, frac, comm_old) = {
+                        let r = &self.running[&id];
+                        let dt = now - r.last_update_ps;
+                        let done = r.done_iters + dt as f64 / r.iter_ps as f64;
+                        let frac = if done >= r.spec.iters as f64 {
+                            0.0
+                        } else {
+                            done.fract()
+                        };
+                        (r.placement.clone(), r.spec.grad_bytes, frac, r.comm_ps)
+                    };
+                    if frac <= 0.0 || comm_old == 0 {
+                        continue; // between iterations: nothing in flight
+                    }
+                    let t_mid = ((frac * comm_old as f64) as u64).max(1);
+                    let sched = match kind {
+                        LinkEventKind::Fail => FailureSchedule::new().fail(t_mid, node, port),
+                        LinkEventKind::Repair => FailureSchedule::new().repair(t_mid, node, port),
+                    };
+                    let stats = self.run_iteration(&placement, grad_bytes, sched);
+                    self.flows_rerouted += stats.flows_rerouted;
+                    interrupted.insert(id, stats.finish_ps);
+                }
+                // Back to the post-event epoch for the steady-state rates.
+                let restored = match kind {
+                    LinkEventKind::Fail => self.net.topo.fail_link(node, port),
+                    LinkEventKind::Repair => self.net.topo.restore_link(node, port),
+                };
+                debug_assert!(restored, "post-event epoch not restored");
+            }
+        }
         for id in ids {
             // Measure with the borrow released, then write back.
             let (placement, grad_bytes) = {
@@ -595,15 +670,36 @@ impl ClusterSim {
             // hxlint: allow(P001) `id` was read out of `running` just above
             let r = self.running.get_mut(&id).unwrap();
             let dt = now - r.last_update_ps;
-            r.done_iters = (r.done_iters + dt as f64 / r.iter_ps as f64).min(r.spec.iters as f64);
+            let old_iter_ps = r.iter_ps;
+            let done_new = r.done_iters + dt as f64 / r.iter_ps as f64;
+            let frac = if done_new >= r.spec.iters as f64 {
+                0.0
+            } else {
+                done_new.fract()
+            };
+            r.done_iters = done_new.min(r.spec.iters as f64);
             r.last_update_ps = now;
             r.iter_ps = iteration_ps(r.spec.compute_ps, comm_ps, self.cfg.overlap);
+            r.comm_ps = comm_ps;
             r.busy_per_iter = busy;
             r.generation += 1;
             r.resims += 1;
             self.resims += 1;
+            // The frozen-epoch model prices the cut iteration as `frac`
+            // at the old rate plus the remainder at the new; the in-situ
+            // measurement replaces that with the simulated truth, and any
+            // excess is a one-time charge on this job's finish.
+            let penalty = interrupted
+                .get(&id)
+                .map(|&comm_mid| {
+                    let in_situ =
+                        iteration_ps(r.spec.compute_ps, comm_mid, self.cfg.overlap) as f64;
+                    let frozen = frac * old_iter_ps as f64 + (1.0 - frac) * r.iter_ps as f64;
+                    (in_situ - frozen).max(0.0) as u64
+                })
+                .unwrap_or(0);
             let remaining = (r.spec.iters as f64 - r.done_iters).max(0.0);
-            let finish = now + (remaining * r.iter_ps as f64).ceil() as u64;
+            let finish = now + (remaining * r.iter_ps as f64).ceil() as u64 + penalty;
             self.events.push(
                 finish,
                 Event::Completion {
@@ -627,6 +723,23 @@ impl ClusterSim {
         if let Some(&hit) = self.iter_cache.get(&key) {
             return hit;
         }
+        let stats = self.run_iteration(placement, grad_bytes, FailureSchedule::default());
+        let out = (stats.finish_ps, stats.total_link_busy_ps);
+        self.iter_cache.insert(key, out);
+        out
+    }
+
+    /// Uncached: simulate one iteration of a placed job on the current
+    /// network, with `failures` applied as in-run events (empty for the
+    /// steady-state measurements). The in-situ path cannot memoize — the
+    /// event lands at a per-job fractional instant, so no two interrupted
+    /// iterations share a key.
+    fn run_iteration(
+        &mut self,
+        placement: &Placement,
+        grad_bytes: u64,
+        failures: FailureSchedule,
+    ) -> SimStats {
         let p = &self.cfg.mesh;
         let grid_rows = placement.rows.len() * p.a;
         let grid_cols = placement.cols.len() * p.b;
@@ -645,6 +758,7 @@ impl ClusterSim {
         let mut app = ScheduleApp::with_mapping(&sched, mapping);
         let cfg = SimConfig {
             seed: self.cfg.seed ^ 0x51u64,
+            failures,
             ..SimConfig::default()
         };
         let stats = simulate(&self.net, cfg, self.cfg.engine, &mut app);
@@ -656,9 +770,7 @@ impl ClusterSim {
             self.net.topo.failure_set_id()
         );
         self.sim_invocations += 1;
-        let out = (stats.finish_ps, stats.total_link_busy_ps);
-        self.iter_cache.insert(key, out);
-        out
+        stats
     }
 }
 
@@ -749,6 +861,38 @@ mod tests {
         assert!(report.resims > 0, "failures never re-rated a running job");
         assert!(report.repair_events <= report.fail_events);
         assert!(report.jobs.iter().any(|j| j.resims > 0));
+    }
+
+    #[test]
+    fn in_situ_failures_reroute_flows_under_heavy_churn() {
+        // Heavy-load smoke: aggressive churn with in-situ measurement on
+        // must catch at least one job's flows in flight on a failing (or
+        // repairing) cable and re-route them inside the interrupted
+        // iteration's simulation. The legacy frozen-epoch path must keep
+        // the counter at zero, and every job still completes either way.
+        let churn = |in_situ| ClusterConfig {
+            mean_fail_interval_ps: Some(5 * MS),
+            mean_repair_ps: 50 * MS,
+            in_situ_failures: in_situ,
+            ..tiny_cfg()
+        };
+        let report = ClusterSim::new(churn(true)).run();
+        assert!(report.fail_events > 0, "no failures drawn");
+        assert!(
+            report.flows_rerouted >= 1,
+            "in-situ epochs never rerouted a flow in flight"
+        );
+        assert_eq!(report.jobs.len(), 12);
+        assert!(report.jobs.iter().all(|j| j.rejected || j.finish_ps > 0));
+
+        let legacy = ClusterSim::new(churn(false)).run();
+        assert_eq!(
+            legacy.flows_rerouted, 0,
+            "frozen-epoch model must not report in-situ re-routes"
+        );
+        // In-situ only ever *adds* a one-time charge to interrupted jobs:
+        // the completion order and counts stay intact.
+        assert_eq!(legacy.jobs.len(), report.jobs.len());
     }
 
     #[test]

@@ -748,12 +748,18 @@ impl Router for HxMeshRouter {
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
+        if vc >= self.num_vcs() {
+            // Escape VC: sticky failure-epoch routing (see FailoverTable).
+            self.failover.escape_candidates(topo, node, vc, target, out);
+            return;
+        }
         if node == target {
             return;
         }
         self.structured_candidates(topo, node, vc, target, out);
         if topo.has_failures() {
-            self.failover.filter(topo, node, vc, target, out);
+            self.failover
+                .filter(topo, node, self.num_vcs(), target, out);
         }
     }
 

@@ -109,7 +109,8 @@ pub trait Router: Send + Sync {
 ///    walk can revisit a node, no matter how ties are broken);
 /// 2. if nothing survives — all minimal routes are cut — replaces the set
 ///    with every healthy port on a failure-aware shortest path (the
-///    "failover" routes), keeping the packet's current VC;
+///    "failover" routes), escaping to the dedicated failover VC (see
+///    below);
 /// 3. leaves the set empty when the failure set disconnects the pair,
 ///    which per the [`Router`] contract means "unreachable".
 ///
@@ -122,13 +123,27 @@ pub trait Router: Send + Sync {
 /// the router never calls in here, so pristine-network routing (and its
 /// performance) is bit-identical to the failure-blind code.
 ///
-/// The trade-off is fidelity, not correctness: while any failure exists,
-/// non-minimal adaptive escapes (HxMesh wrap-arounds, Dragonfly local
-/// detours) that don't shorten the failure-aware distance are suppressed.
-/// Deadlock freedom relies on the engines' buffer sizing rather than VC
-/// discipline on failover routes; the packet engine's default 8 MiB
-/// per-(port, VC) buffers make cyclic credit stalls unreachable at the
-/// scales the fault suites simulate.
+/// ## Failover VC discipline
+///
+/// Step-2 failover routes do **not** inherit the packet's current VC:
+/// they escape to a dedicated VC, `escape_vc = Router::num_vcs()` (the
+/// engines allocate one VC beyond what the router's structured scheme
+/// uses). Inheriting the primary VC is unsound on the wrap topologies —
+/// a torus/HxMesh failover hop can traverse a dateline the structured
+/// VC ladder never crosses on that VC, closing a credit cycle. The
+/// escape VC is *sticky*: once a packet rides it, every later hop comes
+/// from [`FailoverTable::escape_candidates`], which offers exactly the
+/// healthy ports that strictly decrease the failure-aware BFS distance
+/// to the target. Strictly-decreasing routing over one shared distance
+/// function is acyclic per destination, so the escape network is
+/// deadlock-free on its own VC, and the structured VCs keep their own
+/// guarantees because nothing new enters them
+/// (`tests/fault_injection.rs` pins the torus/HxMesh wrap regression).
+///
+/// The remaining trade-off is fidelity, not correctness: while any
+/// failure exists, non-minimal adaptive escapes (HxMesh wrap-arounds,
+/// Dragonfly local detours) that don't shorten the failure-aware
+/// distance are suppressed.
 #[derive(Debug, Default)]
 pub struct FailoverTable {
     cache: Mutex<FailoverCache>,
@@ -178,14 +193,16 @@ impl FailoverTable {
     }
 
     /// Apply the failure filter described on [`FailoverTable`] to a
-    /// structured candidate set. `vc` is the packet's current VC, used
-    /// for the failover routes of step 2. Call only when
-    /// [`Topology::has_failures`] — the healthy path must stay untouched.
+    /// structured candidate set. `escape_vc` is the dedicated failover
+    /// VC the step-2 routes escape to — routers pass their own
+    /// `num_vcs()` (the engines allocate one VC beyond it). Call only
+    /// when [`Topology::has_failures`] — the healthy path must stay
+    /// untouched.
     pub fn filter(
         &self,
         topo: &Topology,
         node: NodeId,
-        vc: u8,
+        escape_vc: u8,
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
@@ -206,12 +223,14 @@ impl FailoverTable {
             });
             if out.is_empty() {
                 // All structured routes are cut here: fail over to every
-                // healthy shortest-path port in the failure-aware graph.
+                // healthy shortest-path port in the failure-aware graph,
+                // escaping to the dedicated failover VC (see the VC
+                // discipline section on [`FailoverTable`]).
                 for (p, link) in topo.node(node).ports.iter().enumerate() {
                     if !link.failed && dist[link.peer.node.idx()] + 1 == d {
                         out.push(Hop {
                             port: PortId(p as u16),
-                            vc,
+                            vc: escape_vc,
                         });
                     }
                 }
@@ -230,6 +249,48 @@ impl FailoverTable {
             debug_assert!(
                 !out.is_empty(),
                 "reachable target {target:?} but no healthy shortest-path port at {node:?}"
+            );
+        });
+    }
+
+    /// Candidates for a packet already riding the escape VC (sticky —
+    /// see the VC discipline section on [`FailoverTable`]): every
+    /// healthy port that strictly decreases the failure-aware BFS
+    /// distance to `target`, all on `escape_vc`. Replaces the
+    /// structured scheme entirely; a router whose `candidates` is
+    /// called with `vc >= num_vcs()` must delegate here unconditionally
+    /// (even after every failure repaired — in-flight escape packets
+    /// outlive the failure set, and the healthy-graph BFS keeps them
+    /// progressing and acyclic). Leaves `out` empty when the pair is
+    /// disconnected.
+    pub fn escape_candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        escape_vc: u8,
+        target: NodeId,
+        out: &mut Vec<Hop>,
+    ) {
+        out.clear();
+        if node == target {
+            return;
+        }
+        self.with_dist(topo, target, |dist| {
+            let d = dist[node.idx()];
+            if d == u32::MAX {
+                return; // disconnected: report unreachable
+            }
+            for (p, link) in topo.node(node).ports.iter().enumerate() {
+                if !link.failed && dist[link.peer.node.idx()] < d {
+                    out.push(Hop {
+                        port: PortId(p as u16),
+                        vc: escape_vc,
+                    });
+                }
+            }
+            debug_assert!(
+                !out.is_empty(),
+                "reachable target {target:?} but no distance-decreasing port at {node:?}"
             );
         });
     }
@@ -408,6 +469,11 @@ impl Router for ShortestPathRouter {
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
+        if vc >= self.num_vcs() {
+            // Escape VC: sticky failure-epoch routing (see FailoverTable).
+            self.failover.escape_candidates(topo, node, vc, target, out);
+            return;
+        }
         let ti = self.endpoint_index[&target];
         let d = self.dist[node.idx()][ti];
         if d == 0 {
@@ -422,7 +488,8 @@ impl Router for ShortestPathRouter {
             }
         }
         if topo.has_failures() {
-            self.failover.filter(topo, node, vc, target, out);
+            self.failover
+                .filter(topo, node, self.num_vcs(), target, out);
         }
     }
 }

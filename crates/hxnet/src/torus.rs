@@ -157,6 +157,11 @@ impl Router for TorusRouter {
         target: NodeId,
         out: &mut Vec<Hop>,
     ) {
+        if vc >= self.num_vcs() {
+            // Escape VC: sticky failure-epoch routing (see FailoverTable).
+            self.failover.escape_candidates(topo, node, vc, target, out);
+            return;
+        }
         if node == target {
             return;
         }
@@ -204,7 +209,8 @@ impl Router for TorusRouter {
             }
         }
         if topo.has_failures() {
-            self.failover.filter(topo, node, vc, target, out);
+            self.failover
+                .filter(topo, node, self.num_vcs(), target, out);
         }
     }
 }

@@ -48,6 +48,13 @@ pub const COMMON_FLAGS: &[FlagSpec] = &[
                reference for differential tests (default: incremental)",
     },
     FlagSpec {
+        name: "--retransmit",
+        value: Some("timeout|reroute"),
+        help: "packet-engine recovery for packets dropped by mid-run link \
+               failures: capped-exponential-backoff timeout, or a fast \
+               NACK-style reroute (default: timeout)",
+    },
+    FlagSpec {
         name: "--metrics-out",
         value: Some("PATH"),
         help: "write the deterministic metrics registry (counters, gauges, \
@@ -169,6 +176,15 @@ pub fn apply_rates(mode: hammingmesh::hxsim::RateMode) {
         hammingmesh::hxsim::RateMode::Incremental => "incremental",
     };
     std::env::set_var("HX_RATES", name);
+}
+
+/// Apply a `--retransmit timeout|reroute` override by setting
+/// `HX_RETRANSMIT`, resolved by `hxsim::RetransmitPolicy::from_env()`
+/// inside `hxsim::SimConfig::default()` — the same env channel as
+/// [`apply_rates`], for the same reason. Precedence: `--retransmit` flag
+/// > inherited `HX_RETRANSMIT` > timeout.
+pub fn apply_retransmit(policy: hammingmesh::hxsim::RetransmitPolicy) {
+    std::env::set_var("HX_RETRANSMIT", policy.as_str());
 }
 
 /// Apply `--metrics-out` / `--trace-out`: enable exactly the channels

@@ -102,6 +102,10 @@ fn parse_cli() -> ServeArgs {
                 Ok(m) => cli::apply_rates(m),
                 Err(msg) => fail_usage(&msg),
             },
+            "--retransmit" => match value.parse() {
+                Ok(p) => cli::apply_retransmit(p),
+                Err(msg) => fail_usage(&msg),
+            },
             "--format" => {
                 out.format = match value {
                     "jsonl" => Format::Jsonl,
@@ -160,7 +164,7 @@ fn main() {
         let plan = scenario.resolve(&args.overrides);
         let mut lock = stdout.lock();
         if args.format == Format::Csv {
-            if let Some(header) = render::csv_header(plan.style) {
+            if let Some(header) = render::csv_header(&plan) {
                 let _ = writeln!(lock, "{header}");
             }
         }
@@ -169,7 +173,7 @@ fn main() {
                 let _ = writeln!(lock, "{}", render::jsonl_row(&plan, row));
             }
             Format::Csv => {
-                if let Some(line) = render::csv_row(plan.style, row) {
+                if let Some(line) = render::csv_row(&plan, row) {
                     let _ = writeln!(lock, "{line}");
                 }
             }

@@ -8,7 +8,7 @@
 //! populated the cache.
 
 use crate::exec::{BwCell, CellOutput, CellRow};
-use crate::spec::{CellKind, Plan, Style};
+use crate::spec::{CellKind, FailureMode, Plan, Style};
 use hammingmesh::prelude::ClusterSize;
 use std::fmt::Write as _;
 
@@ -139,54 +139,86 @@ fn distribution_block(out: &mut String, plan: &Plan, rows: &[CellRow]) {
 }
 
 /// The Fig. 10 routed tables: one block per topology, failed-cables rows
-/// by engine columns, each cell the mean over the draws.
+/// by engine (x failure-mode, for midrun comparisons) columns, each cell
+/// the mean over the draws.
 fn failure_blocks(out: &mut String, plan: &Plan, rows: &[CellRow]) {
     let e_n = plan.engines.len();
+    let m_n = plan.failures.modes.len();
     let d_n = plan.draws;
     let f_n = plan.failed_cables.len();
     for ti in 0..plan.topologies.len() {
-        let base = ti * f_n * e_n * d_n;
+        let base = ti * f_n * e_n * m_n * d_n;
         let net = &rows[base].net;
         let _ = writeln!(
             out,
             "\n{} ({} endpoints, {} cables):",
             net.name, net.endpoints, net.cables
         );
+        // Mode-tagged headers ("packet mid%") need the wider column; the
+        // single-frozen-mode layout keeps the original 9-char one.
+        let legacy = m_n == 1 && plan.failures.modes[0] == FailureMode::Frozen;
+        let w = if legacy { 9 } else { 12 };
         let _ = write!(out, "{:>8}", "failed");
         for e in &plan.engines {
-            let _ = write!(out, " {:>9}", format!("{e}%"));
+            for &mode in &plan.failures.modes {
+                let label = if legacy {
+                    format!("{e}%")
+                } else {
+                    let tag = match mode {
+                        FailureMode::Frozen => "frz",
+                        FailureMode::Midrun => "mid",
+                    };
+                    format!("{e} {tag}%")
+                };
+                let _ = write!(out, " {label:>w$}");
+            }
         }
         out.push('\n');
         for (fi, &f) in plan.failed_cables.iter().enumerate() {
             let _ = write!(out, "{f:>8}");
             for ei in 0..e_n {
-                let mut sum = 0.0;
-                for di in 0..d_n {
-                    sum += bw_cell(&rows[base + (fi * e_n + ei) * d_n + di]).bw_fraction;
+                for mi in 0..m_n {
+                    let mut sum = 0.0;
+                    for di in 0..d_n {
+                        let idx = base + ((fi * e_n + ei) * m_n + mi) * d_n + di;
+                        sum += bw_cell(&rows[idx]).bw_fraction;
+                    }
+                    let _ = write!(out, " {:>w$.1}", sum / d_n as f64 * 100.0);
                 }
-                let _ = write!(out, " {:>9.1}", sum / d_n as f64 * 100.0);
             }
             out.push('\n');
         }
     }
 }
 
+/// Does the plan have a midrun column (which adds a `mode` CSV column)?
+fn has_midrun(plan: &Plan) -> bool {
+    plan.failures.modes.contains(&FailureMode::Midrun)
+}
+
 /// CSV column header for the styles that emit CSV (the Fig. 14 and
-/// Fig. 10 side files); `None` for the stdout-only styles.
-pub fn csv_header(style: Style) -> Option<&'static str> {
-    match style {
+/// Fig. 10 side files); `None` for the stdout-only styles. Frozen-only
+/// failure plans keep the original column set; plans with a midrun
+/// component gain a `mode` column after `engine`.
+pub fn csv_header(plan: &Plan) -> Option<String> {
+    match plan.style {
         Style::ScalingByAlgo => {
-            Some("algorithm,topology,engine,endpoints,bytes,bw_fraction,sim_ps,clean")
+            Some("algorithm,topology,engine,endpoints,bytes,bw_fraction,sim_ps,clean".to_string())
         }
-        Style::FailureBlocks => Some("topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean"),
+        Style::FailureBlocks if has_midrun(plan) => {
+            Some("topology,engine,mode,failed_cables,draw,bw_fraction,sim_ps,clean".to_string())
+        }
+        Style::FailureBlocks => {
+            Some("topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean".to_string())
+        }
         _ => None,
     }
 }
 
 /// One CSV line for a cell (no trailing newline), matching the original
 /// binaries' column conventions. `None` when the style emits no CSV.
-pub fn csv_row(style: Style, row: &CellRow) -> Option<String> {
-    match (style, &row.spec.kind, &row.output) {
+pub fn csv_row(plan: &Plan, row: &CellRow) -> Option<String> {
+    match (plan.style, &row.spec.kind, &row.output) {
         (Style::ScalingByAlgo, CellKind::Allreduce { algo }, CellOutput::Bandwidth(b)) => {
             Some(format!(
                 "{algo:?},{},{},{},{},{:.4},{},{}",
@@ -203,8 +235,19 @@ pub fn csv_row(style: Style, row: &CellRow) -> Option<String> {
             Style::FailureBlocks,
             CellKind::FailedAlltoall { failures, draw },
             CellOutput::Bandwidth(b),
+        ) => {
+            let mode = if has_midrun(plan) { "frozen," } else { "" };
+            Some(format!(
+                "{},{},{mode}{failures},{draw},{:.4},{},{}",
+                row.net.name, row.spec.engine, b.bw_fraction, b.time_ps, b.clean
+            ))
+        }
+        (
+            Style::FailureBlocks,
+            CellKind::MidrunAlltoall { failures, draw },
+            CellOutput::Bandwidth(b),
         ) => Some(format!(
-            "{},{},{failures},{draw},{:.4},{},{}",
+            "{},{},midrun,{failures},{draw},{:.4},{},{}",
             row.net.name, row.spec.engine, b.bw_fraction, b.time_ps, b.clean
         )),
         _ => None,
@@ -213,12 +256,12 @@ pub fn csv_row(style: Style, row: &CellRow) -> Option<String> {
 
 /// The complete CSV side file for a run, or `None` for stdout-only styles.
 pub fn render_csv(plan: &Plan, rows: &[CellRow]) -> Option<String> {
-    let header = csv_header(plan.style)?;
+    let header = csv_header(plan)?;
     let mut out = String::with_capacity(64 * (rows.len() + 1));
-    out.push_str(header);
+    out.push_str(&header);
     out.push('\n');
     for row in rows {
-        if let Some(line) = csv_row(plan.style, row) {
+        if let Some(line) = csv_row(plan, row) {
             out.push_str(&line);
             out.push('\n');
         }
@@ -266,6 +309,27 @@ pub fn jsonl_row(plan: &Plan, row: &CellRow) -> String {
                 out,
                 ",\"kind\":\"failed_alltoall\",\"failed_cables\":{failures},\"draw\":{draw},\"failure_set_id\":\"{:016x}\"",
                 row.failure_set_id
+            );
+        }
+        CellKind::MidrunAlltoall { failures, draw } => {
+            let ints = |v: &[u64]| {
+                v.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let t = row
+                .spec
+                .midrun
+                .as_ref()
+                // hxlint: allow(P001) expand_cells sets `midrun` on every MidrunAlltoall cell
+                .expect("midrun cells carry times");
+            let _ = write!(
+                out,
+                ",\"kind\":\"midrun_alltoall\",\"failed_cables\":{failures},\"draw\":{draw},\"failure_set_id\":\"{:016x}\",\"fail_at_ps\":[{}],\"repair_at_ps\":[{}]",
+                row.failure_set_id,
+                ints(&t.fail_at_ps),
+                ints(&t.repair_at_ps)
             );
         }
     }
@@ -378,10 +442,34 @@ title = "t"
 
     #[test]
     fn csv_rows_only_for_csv_styles() {
-        assert_eq!(csv_header(Style::Grid), None);
-        assert!(csv_header(Style::ScalingByAlgo).is_some());
-        assert!(csv_header(Style::FailureBlocks).is_some());
-        let row = CellRow {
+        let plan_of = |src: &str| Scenario::parse(src).unwrap().resolve(&Overrides::default());
+        let grid = plan_of(
+            "[scenario]\nname = \"g\"\npattern = \"alltoall\"\n[topology]\nset = [\"torus\"]\n\
+             endpoints = 16\n[sweep]\nbytes = [8192]\n[output]\nstyle = \"grid\"\ntitle = \"g\"\n",
+        );
+        let frozen = plan_of(
+            "[scenario]\nname = \"f\"\npattern = \"failures\"\nengine = \"flow\"\n[topology]\n\
+             set = [\"torus\"]\nendpoints = 64\n[sweep]\nbytes = [32768]\n\
+             failed_cables = [0, 4]\ndraws = 2\n[output]\nstyle = \"failure_blocks\"\n\
+             title = \"f\"\n",
+        );
+        let compare = plan_of(
+            "[scenario]\nname = \"c\"\npattern = \"failures\"\nengine = \"flow\"\n[topology]\n\
+             set = [\"torus\"]\nendpoints = 64\n[sweep]\nbytes = [32768]\n\
+             failed_cables = [0, 4]\ndraws = 2\n[failures]\nmode = \"compare\"\n\
+             [failures.schedule]\nfail_at_ps = [1000000]\n[output]\n\
+             style = \"failure_blocks\"\ntitle = \"c\"\n",
+        );
+        assert_eq!(csv_header(&grid), None);
+        assert_eq!(
+            csv_header(&frozen).unwrap(),
+            "topology,engine,failed_cables,draw,bw_fraction,sim_ps,clean"
+        );
+        assert_eq!(
+            csv_header(&compare).unwrap(),
+            "topology,engine,mode,failed_cables,draw,bw_fraction,sim_ps,clean"
+        );
+        let mut row = CellRow {
             spec: crate::spec::CellSpec {
                 index: 0,
                 topology: hammingmesh::topologies::TopologyChoice::Torus,
@@ -394,6 +482,7 @@ title = "t"
                     failures: 4,
                     draw: 1,
                 },
+                midrun: None,
             },
             net: NetInfo {
                 name: "8x8 2D torus".into(),
@@ -410,9 +499,25 @@ title = "t"
             cached: false,
         };
         assert_eq!(
-            csv_row(Style::FailureBlocks, &row).unwrap(),
+            csv_row(&frozen, &row).unwrap(),
             "8x8 2D torus,flow,4,1,0.0822,123,true"
         );
-        assert_eq!(csv_row(Style::Grid, &row), None);
+        assert_eq!(
+            csv_row(&compare, &row).unwrap(),
+            "8x8 2D torus,flow,frozen,4,1,0.0822,123,true"
+        );
+        row.spec.kind = CellKind::MidrunAlltoall {
+            failures: 4,
+            draw: 1,
+        };
+        row.spec.midrun = Some(crate::spec::MidrunTimes {
+            fail_at_ps: vec![1_000_000],
+            repair_at_ps: Vec::new(),
+        });
+        assert_eq!(
+            csv_row(&compare, &row).unwrap(),
+            "8x8 2D torus,flow,midrun,4,1,0.0822,123,true"
+        );
+        assert_eq!(csv_row(&grid, &row), None);
     }
 }

@@ -26,6 +26,14 @@
 //! draws = 3                 # random failure draws per sweep point
 //! traces = "ignored"        # what --traces overrides: ignored | draws | cap_endpoints
 //!
+//! [failures]                # failures pattern only; optional
+//! mode = "frozen"           # frozen | midrun | compare (frozen vs midrun columns)
+//!
+//! [failures.schedule]       # required for midrun/compare modes
+//! fail_at_ps = [5000000]    # fail instants, paired with the drawn cables
+//!                           # in canonical cable order (last entry repeats)
+//! repair_at_ps = [...]      # optional repair instants (same pairing)
+//!
 //! [output]
 //! style = "grid"            # grid | distribution | grid_by_algo |
 //!                           # scaling_by_algo | failure_blocks
@@ -149,6 +157,65 @@ impl TracesRole {
     }
 }
 
+/// When a failure cell's drawn cable set takes effect: before the run
+/// starts (the original Fig. 10 routed behavior) or mid-run, as in-situ
+/// fail/repair events the engines react to while traffic is in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureMode {
+    Frozen,
+    Midrun,
+}
+
+impl FailureMode {
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            FailureMode::Frozen => "frozen",
+            FailureMode::Midrun => "midrun",
+        }
+    }
+}
+
+/// The `[failures.schedule]` instants. Entries pair with the drawn
+/// cables in canonical cable order; a shorter list repeats its last
+/// entry, so a single instant fails (or repairs) the whole set at once.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MidrunTimes {
+    pub fail_at_ps: Vec<u64>,
+    /// Empty = the failures are permanent for the rest of the run.
+    pub repair_at_ps: Vec<u64>,
+}
+
+/// The `[failures]` (+ `[failures.schedule]`) sections: how failure
+/// cells inject their drawn cable set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailurePolicy {
+    /// The modes each (topology, failed-count, engine) group sweeps:
+    /// `[Frozen]` (default), `[Midrun]`, or `[Frozen, Midrun]` for
+    /// `mode = "compare"` side-by-side columns.
+    pub modes: Vec<FailureMode>,
+    pub times: MidrunTimes,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            modes: vec![FailureMode::Frozen],
+            times: MidrunTimes::default(),
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// The `mode` key's canonical value.
+    pub fn mode_name(&self) -> &'static str {
+        match self.modes.as_slice() {
+            [FailureMode::Frozen] => "frozen",
+            [FailureMode::Midrun] => "midrun",
+            _ => "compare",
+        }
+    }
+}
+
 /// The `[sweep]` section: quick and `--full` variants of every axis.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sweep {
@@ -177,6 +244,7 @@ pub struct Scenario {
     pub endpoints: usize,
     pub endpoints_full: usize,
     pub sweep: Sweep,
+    pub failures: FailurePolicy,
     pub style: Style,
     pub title: String,
     pub note: String,
@@ -207,15 +275,30 @@ pub struct CellSpec {
     pub window: u32,
     pub seed: u64,
     pub kind: CellKind,
+    /// Fail/repair instants for `MidrunAlltoall` cells; `None` otherwise.
+    pub midrun: Option<MidrunTimes>,
 }
 
 /// The pattern-specific part of a cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CellKind {
     Alltoall,
-    Permutation { rounds: u32 },
-    Allreduce { algo: AllreduceAlgo },
-    FailedAlltoall { failures: usize, draw: usize },
+    Permutation {
+        rounds: u32,
+    },
+    Allreduce {
+        algo: AllreduceAlgo,
+    },
+    FailedAlltoall {
+        failures: usize,
+        draw: usize,
+    },
+    /// Same drawn cable set as `FailedAlltoall`, but injected as mid-run
+    /// link events (the cell's `midrun` times) on a pristine network.
+    MidrunAlltoall {
+        failures: usize,
+        draw: usize,
+    },
 }
 
 impl CellSpec {
@@ -230,6 +313,24 @@ impl CellSpec {
             CellKind::Allreduce { algo } => format!("allreduce:{}", algo.spec_name()),
             CellKind::FailedAlltoall { failures, draw } => {
                 format!("failed_alltoall:f={failures},draw={draw}")
+            }
+            CellKind::MidrunAlltoall { failures, draw } => {
+                let j = |v: &[u64]| {
+                    v.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                };
+                let t = self
+                    .midrun
+                    .as_ref()
+                    // hxlint: allow(P001) expand_cells sets `midrun` on every MidrunAlltoall cell
+                    .expect("midrun cells carry times");
+                format!(
+                    "midrun_alltoall:f={failures},draw={draw},fail={},repair={}",
+                    j(&t.fail_at_ps),
+                    j(&t.repair_at_ps)
+                )
             }
         };
         format!(
@@ -262,6 +363,8 @@ pub struct Plan {
     pub endpoints_axis: Vec<usize>,
     pub failed_cables: Vec<usize>,
     pub draws: usize,
+    /// Failure-injection policy (frozen / midrun / compare + instants).
+    pub failures: FailurePolicy,
     pub seed: u64,
     pub window: u32,
     /// Verbatim spec source, carried for cache keying.
@@ -377,12 +480,13 @@ impl Scenario {
         for sec in &doc.sections {
             if !matches!(
                 sec.name.as_str(),
-                "scenario" | "topology" | "sweep" | "output"
+                "scenario" | "topology" | "sweep" | "failures" | "failures.schedule" | "output"
             ) {
                 return Err(SpecError::at(
                     sec.line,
                     format!(
-                        "unknown section [{}] (expected [scenario], [topology], [sweep], [output])",
+                        "unknown section [{}] (expected [scenario], [topology], [sweep], \
+                         [failures], [failures.schedule], [output])",
                         sec.name
                     ),
                 ));
@@ -502,6 +606,9 @@ impl Scenario {
         })?
         .unwrap_or(TracesRole::Ignored);
 
+        // [failures] / [failures.schedule]
+        let failures = parse_failures(&doc)?;
+
         // [output]
         let style = want_enum(output, "style", |s| match s {
             "grid" => Ok(Style::Grid),
@@ -540,6 +647,7 @@ impl Scenario {
                 draws_full,
                 traces,
             },
+            failures,
             style,
             title,
             note,
@@ -595,7 +703,21 @@ impl Scenario {
                         self.pattern.spec_name()
                     ));
                 }
+                if self.failures != FailurePolicy::default() {
+                    return e(format!(
+                        "[failures] only applies to failures scenarios, not `{}`",
+                        self.pattern.spec_name()
+                    ));
+                }
             }
+        }
+        if self.failures.modes.contains(&FailureMode::Midrun)
+            && self.failures.times.fail_at_ps.is_empty()
+        {
+            return e(format!(
+                "failure mode \"{}\" needs a [failures.schedule] with `fail_at_ps`",
+                self.failures.mode_name()
+            ));
         }
         if self.style == Style::ScalingByAlgo {
             if self.sweep.endpoints.is_none() {
@@ -696,6 +818,18 @@ impl Scenario {
             "traces = {}",
             toml::quote(self.sweep.traces.spec_name())
         );
+        if self.failures != FailurePolicy::default() {
+            let _ = writeln!(out, "\n[failures]");
+            let _ = writeln!(out, "mode = {}", toml::quote(self.failures.mode_name()));
+            let t = &self.failures.times;
+            if !t.fail_at_ps.is_empty() {
+                let _ = writeln!(out, "\n[failures.schedule]");
+                let _ = writeln!(out, "fail_at_ps = [{}]", ints(&t.fail_at_ps));
+                if !t.repair_at_ps.is_empty() {
+                    let _ = writeln!(out, "repair_at_ps = [{}]", ints(&t.repair_at_ps));
+                }
+            }
+        }
         let _ = writeln!(out, "\n[output]");
         let _ = writeln!(out, "style = {}", toml::quote(self.style.spec_name()));
         let _ = writeln!(out, "title = {}", toml::quote(&self.title));
@@ -755,6 +889,7 @@ impl Scenario {
             endpoints_axis,
             failed_cables,
             draws,
+            failures: self.failures.clone(),
             seed,
             window: self.window,
             spec_src: self.src.clone(),
@@ -763,6 +898,47 @@ impl Scenario {
         plan.cells = expand_cells(&plan);
         plan
     }
+}
+
+/// Parse the optional `[failures]` + `[failures.schedule]` sections.
+fn parse_failures(doc: &Doc) -> Result<FailurePolicy, SpecError> {
+    let mut policy = FailurePolicy::default();
+    if let Some(sec) = doc.section("failures") {
+        unknown_key_check(sec, &["mode"])?;
+        if let Some(modes) = want_enum(sec, "mode", |s| match s {
+            "frozen" => Ok(vec![FailureMode::Frozen]),
+            "midrun" => Ok(vec![FailureMode::Midrun]),
+            "compare" => Ok(vec![FailureMode::Frozen, FailureMode::Midrun]),
+            other => Err(format!(
+                "unknown failure mode {other:?} (expected frozen, midrun, compare)"
+            )),
+        })? {
+            policy.modes = modes;
+        }
+    }
+    if let Some(sec) = doc.section("failures.schedule") {
+        unknown_key_check(sec, &["fail_at_ps", "repair_at_ps"])?;
+        policy.times.fail_at_ps = want_u64_list(sec, "fail_at_ps")?.ok_or_else(|| {
+            SpecError::at(sec.line, "missing `fail_at_ps` in [failures.schedule]")
+        })?;
+        policy.times.repair_at_ps = want_u64_list(sec, "repair_at_ps")?.unwrap_or_default();
+        let t = &policy.times;
+        if !t.repair_at_ps.is_empty() && t.repair_at_ps.len() != t.fail_at_ps.len() {
+            return Err(SpecError::at(
+                sec.line,
+                "`repair_at_ps` must be empty or pair one-to-one with `fail_at_ps`",
+            ));
+        }
+        for (i, (&f, &r)) in t.fail_at_ps.iter().zip(&t.repair_at_ps).enumerate() {
+            if r <= f {
+                return Err(SpecError::at(
+                    sec.line,
+                    format!("repair_at_ps[{i}] = {r} must come after fail_at_ps[{i}] = {f}"),
+                ));
+            }
+        }
+    }
+    Ok(policy)
 }
 
 fn require_section<'d>(doc: &'d Doc, name: &str) -> Result<&'d Section, SpecError> {
@@ -828,7 +1004,7 @@ fn substitute(template: &str, n: usize, engine: EngineKind, bytes: u64, draws: u
 /// style's renderer walks (so `cells[i]` is the i-th thing printed).
 fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
     let mut cells = Vec::new();
-    let mut push = |topology, engine, endpoints, bytes, kind| {
+    let mut push = |topology, engine, endpoints, bytes, kind, midrun: Option<MidrunTimes>| {
         let index = cells.len();
         cells.push(CellSpec {
             index,
@@ -839,6 +1015,7 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
             window: plan.window,
             seed: plan.seed,
             kind,
+            midrun,
         });
     };
     let engine = plan.engines[0];
@@ -846,7 +1023,7 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
         Style::Grid => {
             for &t in &plan.topologies {
                 for &b in &plan.bytes {
-                    push(t, engine, plan.endpoints, b, CellKind::Alltoall);
+                    push(t, engine, plan.endpoints, b, CellKind::Alltoall, None);
                 }
             }
         }
@@ -860,6 +1037,7 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
                     CellKind::Permutation {
                         rounds: plan.window,
                     },
+                    None,
                 );
             }
         }
@@ -867,7 +1045,14 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
             for &algo in &plan.algos {
                 for &t in &plan.topologies {
                     for &b in &plan.bytes {
-                        push(t, engine, plan.endpoints, b, CellKind::Allreduce { algo });
+                        push(
+                            t,
+                            engine,
+                            plan.endpoints,
+                            b,
+                            CellKind::Allreduce { algo },
+                            None,
+                        );
                     }
                 }
             }
@@ -876,7 +1061,14 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
             for &algo in &plan.algos {
                 for &t in &plan.topologies {
                     for &n in &plan.endpoints_axis {
-                        push(t, engine, n, plan.bytes[0], CellKind::Allreduce { algo });
+                        push(
+                            t,
+                            engine,
+                            n,
+                            plan.bytes[0],
+                            CellKind::Allreduce { algo },
+                            None,
+                        );
                     }
                 }
             }
@@ -885,17 +1077,26 @@ fn expand_cells(plan: &Plan) -> Vec<CellSpec> {
             for &t in &plan.topologies {
                 for &f in &plan.failed_cables {
                     for &e in &plan.engines {
-                        for d in 0..plan.draws {
-                            push(
-                                t,
-                                e,
-                                plan.endpoints,
-                                plan.bytes[0],
-                                CellKind::FailedAlltoall {
-                                    failures: f,
-                                    draw: d,
-                                },
-                            );
+                        for &mode in &plan.failures.modes {
+                            for d in 0..plan.draws {
+                                let (kind, midrun) = match mode {
+                                    FailureMode::Frozen => (
+                                        CellKind::FailedAlltoall {
+                                            failures: f,
+                                            draw: d,
+                                        },
+                                        None,
+                                    ),
+                                    FailureMode::Midrun => (
+                                        CellKind::MidrunAlltoall {
+                                            failures: f,
+                                            draw: d,
+                                        },
+                                        Some(plan.failures.times.clone()),
+                                    ),
+                                };
+                                push(t, e, plan.endpoints, plan.bytes[0], kind, midrun);
+                            }
                         }
                     }
                 }
@@ -980,6 +1181,104 @@ note = "n."
         let bad = MINI.replace("engine = \"flow\"", "engine = \"both\"");
         let err = Scenario::parse(&bad).unwrap_err();
         assert!(err.msg.contains("failure_blocks"), "{err}");
+    }
+
+    const MIDRUN: &str = r#"
+[scenario]
+name = "midrun"
+pattern = "failures"
+engine = "flow"
+
+[topology]
+set = ["torus"]
+endpoints = 16
+
+[sweep]
+bytes = [8192]
+failed_cables = [0, 1]
+draws = 2
+traces = "draws"
+
+[failures]
+mode = "compare"
+
+[failures.schedule]
+fail_at_ps = [1000000]
+repair_at_ps = [9000000]
+
+[output]
+style = "failure_blocks"
+title = "midrun"
+"#;
+
+    #[test]
+    fn midrun_failures_parse_and_expand() {
+        let s = Scenario::parse(MIDRUN).unwrap();
+        assert_eq!(
+            s.failures.modes,
+            vec![FailureMode::Frozen, FailureMode::Midrun]
+        );
+        assert_eq!(s.failures.times.fail_at_ps, vec![1_000_000]);
+        assert_eq!(s.failures.times.repair_at_ps, vec![9_000_000]);
+        let plan = s.resolve(&Overrides::default());
+        // topologies(1) x failed(2) x engines(1) x modes(2) x draws(2)
+        assert_eq!(plan.cells.len(), 8);
+        assert_eq!(
+            plan.cells[2].kind,
+            CellKind::MidrunAlltoall {
+                failures: 0,
+                draw: 0
+            }
+        );
+        assert_eq!(
+            plan.cells[2].midrun.as_ref().unwrap().fail_at_ps,
+            vec![1_000_000]
+        );
+        assert!(
+            plan.cells[0].midrun.is_none(),
+            "frozen cells carry no times"
+        );
+        let d_frozen = plan.cells[4].descriptor();
+        let d_mid = plan.cells[6].descriptor();
+        assert!(d_frozen.contains("failed_alltoall:f=1"), "{d_frozen}");
+        assert!(d_mid.contains("midrun_alltoall:f=1"), "{d_mid}");
+        assert!(d_mid.contains("fail=1000000"), "{d_mid}");
+        assert_ne!(d_frozen, d_mid);
+    }
+
+    #[test]
+    fn midrun_canonical_form_is_a_fixpoint() {
+        let s1 = Scenario::parse(MIDRUN).unwrap();
+        let t1 = s1.to_toml();
+        let s2 = Scenario::parse(&t1).unwrap();
+        assert_eq!(s2.to_toml(), t1);
+        assert_eq!(s2.failures, s1.failures);
+    }
+
+    #[test]
+    fn failure_policy_misuse_is_rejected() {
+        // [failures] on a non-failures pattern.
+        let bad = format!("{MINI}\n[failures]\nmode = \"midrun\"\n");
+        let err = Scenario::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("only applies to failures"), "{err}");
+        // midrun mode without a schedule.
+        let bad = MIDRUN
+            .replace("[failures.schedule]", "")
+            .replace("fail_at_ps = [1000000]", "")
+            .replace("repair_at_ps = [9000000]", "");
+        let err = Scenario::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("needs a [failures.schedule]"), "{err}");
+        // repair not after fail.
+        let bad = MIDRUN.replace("repair_at_ps = [9000000]", "repair_at_ps = [1000000]");
+        let err = Scenario::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("must come after"), "{err}");
+        // ragged pairing.
+        let bad = MIDRUN.replace(
+            "repair_at_ps = [9000000]",
+            "repair_at_ps = [9000000, 9000001]",
+        );
+        let err = Scenario::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("one-to-one"), "{err}");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! A dependency-free parser for the TOML subset the scenario specs use
 //! (same no-crates.io regime as `hxlint`'s lexer).
 //!
-//! Supported: `[section]` headers, `key = value` entries, `#` comments,
-//! and four value shapes — basic strings with `\n`/`\t`/`\\`/`\"` escapes,
-//! integers, booleans, and single-line homogeneous arrays of strings or
-//! integers. Deliberately not supported (the spec schema never needs
-//! them): nested tables, dotted keys, floats, dates, multi-line strings.
+//! Supported: `[section]` headers (including dotted names like
+//! `[failures.schedule]`, treated as flat sections keyed by the full
+//! dotted name), `key = value` entries, `#` comments, and four value
+//! shapes — basic strings with `\n`/`\t`/`\\`/`\"` escapes, integers,
+//! booleans, and single-line homogeneous arrays of strings or integers.
+//! Deliberately not supported (the spec schema never needs them): nested
+//! tables, dotted keys, floats, dates, multi-line strings.
 //!
 //! The parser is strict where the spec layer needs it to be: duplicate
 //! keys within a section and duplicate section names are hard errors (a
@@ -105,6 +107,15 @@ impl fmt::Display for SpecError {
 
 fn is_key_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Section names additionally allow interior dots (`failures.schedule`):
+/// every dot-separated segment must be a non-empty key identifier.
+fn is_section_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .split('.')
+            .all(|seg| !seg.is_empty() && seg.chars().all(is_key_char))
 }
 
 /// Strip a trailing `#` comment from a line, respecting string quotes.
@@ -269,7 +280,7 @@ pub fn parse(src: &str) -> Result<Doc, SpecError> {
                 return Err(SpecError::at(lineno, format!("malformed section {line:?}")));
             };
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(is_key_char) {
+            if !is_section_name(name) {
                 return Err(SpecError::at(
                     lineno,
                     format!("malformed section name {name:?}"),
@@ -384,6 +395,23 @@ mod tests {
             doc.section("s").unwrap().get("k").unwrap().value,
             Value::Str("a # b".into())
         );
+    }
+
+    #[test]
+    fn dotted_section_names_parse_as_flat_sections() {
+        let doc =
+            parse("[failures]\nmode = \"midrun\"\n[failures.schedule]\nfail_at_ps = [1000]\n")
+                .unwrap();
+        assert!(doc.section("failures").is_some());
+        let sched = doc.section("failures.schedule").unwrap();
+        assert_eq!(
+            sched.get("fail_at_ps").unwrap().value,
+            Value::IntList(vec![1000])
+        );
+        // Degenerate dotted forms stay malformed.
+        assert!(parse("[.a]\n").is_err());
+        assert!(parse("[a.]\n").is_err());
+        assert!(parse("[a..b]\n").is_err());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The packet-level discrete-event simulation engine.
 
 pub use crate::app::{Application, Cmd, Ctx, MsgInfo};
-use crate::stats::SimStats;
-use crate::Time;
+use crate::failure::{LinkEvent, LinkEventKind};
+use crate::stats::{SimError, SimStats};
+use crate::{RetransmitPolicy, Time};
 use hxnet::route::LoadProbe;
-use hxnet::{Network, NodeId, PortId};
+use hxnet::{Network, NodeId, PortId, Topology};
 use hxtelemetry::{CounterId, HistId, Registry, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +97,13 @@ pub struct SimConfig {
     /// instrumentation for the differential equivalence suite; costs
     /// O(active flows) per epoch, so it defaults off.
     pub trace_rates: bool,
+    /// In-run cable fail/repair events, applied by both engines at the
+    /// scheduled instants. Empty (the default) keeps the event loops on
+    /// their historical fast path — one branch per iteration.
+    pub failures: crate::FailureSchedule,
+    /// Packet engine: recovery policy for packets dropped on a cable
+    /// that failed mid-flight (see [`crate::RetransmitPolicy`]).
+    pub retransmit: crate::RetransmitPolicy,
 }
 
 impl Default for SimConfig {
@@ -113,12 +121,20 @@ impl Default for SimConfig {
             max_time_ps: Time::MAX,
             rate_mode: RateMode::from_env(),
             trace_rates: false,
+            failures: crate::FailureSchedule::default(),
+            retransmit: crate::RetransmitPolicy::from_env(),
         }
     }
 }
 
 type PacketId = u32;
 type MsgId = u32;
+
+/// Base retransmission timeout for the [`RetransmitPolicy::Timeout`]
+/// policy: 1 µs, a few round trips at App. F latencies. Doubles per
+/// retransmit of the same message, capped at `<< RTO_BACKOFF_CAP`.
+const RTO_BASE_PS: Time = 1_000_000;
+const RTO_BACKOFF_CAP: u32 = 6;
 
 struct PacketState {
     msg: MsgId,
@@ -130,6 +146,14 @@ struct PacketState {
     waypoint: Option<NodeId>,
     /// The input buffer this packet currently occupies, if any.
     held: Option<(NodeId, PortId, u8)>,
+    /// On the wire: set at transmit, cleared on arrival. Only in-flight
+    /// packets can be lost to a mid-run cable failure.
+    in_flight: bool,
+    /// Incarnation stamp carried by `Arrive` events: bumped when the
+    /// packet is dropped on a failed cable (and when its slot is
+    /// recycled), so the stale arrival of a dropped incarnation is
+    /// discarded even if the retransmitted copy is already moving again.
+    gen: u32,
 }
 
 struct MsgState {
@@ -140,6 +164,9 @@ struct MsgState {
     delivered_bytes: u64,
     /// Simulated send instant, for the delivery-latency histogram.
     start_ps: Time,
+    /// Packets of this message lost to cable failures so far; drives the
+    /// exponential backoff of the Timeout retransmit policy.
+    retransmits: u32,
 }
 
 struct OutPort {
@@ -170,8 +197,12 @@ struct NodeState {
 
 #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
 enum Event {
-    /// A packet finished arriving at (node, port).
-    Arrive(NodeId, PortId, PacketId),
+    /// A packet (incarnation `gen`) finished arriving at (node, port).
+    /// Stale incarnations — the packet was dropped on a failed cable
+    /// after this event was scheduled — are discarded on pop.
+    Arrive(NodeId, PortId, PacketId, u32),
+    /// Re-inject a packet dropped on a failed cable at its source NIC.
+    Retransmit(PacketId),
     /// Serialization done on (node, port): release the packet's previous
     /// buffer and try to transmit the next queued packet. All data is
     /// carried in the event because, with cut-through, the packet may have
@@ -223,12 +254,31 @@ pub struct Engine<'n> {
     c_flows_drained: CounterId,
     c_packet_stalls: CounterId,
     c_sim_events: CounterId,
+    c_retransmits: CounterId,
     h_msg_latency: HistId,
+    /// Private failure-epoch topology, `Some` iff the run carries a
+    /// non-empty [`crate::FailureSchedule`] (scheduled fail/repair events
+    /// never mutate the shared `Network`).
+    topo: Option<Topology>,
+    /// Cursor into `cfg.failures` (sorted by time).
+    next_sched: usize,
+    /// Packets with no healthy path toward their target, as
+    /// `(current node, packet)`. A parked transit packet keeps occupying
+    /// its input buffer — a real switch cannot conjure the capacity to
+    /// drop-and-forget either — and is re-routed on the next repair.
+    /// Non-empty at the end of a run => [`SimError::Disconnected`].
+    parked: Vec<(NodeId, PacketId)>,
 }
 
 impl<'n> Engine<'n> {
     pub fn new(net: &'n Network, cfg: SimConfig) -> Self {
-        let num_vcs = net.router.num_vcs().max(1) as usize;
+        // One VC beyond the router's structured set: the escape VC that
+        // failover detours use (see `hxnet::route::FailoverTable`). It
+        // carries no traffic on healthy runs — the round-robin arbiter
+        // skips its empty queue — so allocating it unconditionally keeps
+        // healthy results bit-identical.
+        let num_vcs = net.router.num_vcs().max(1) as usize + 1;
+        debug_assert!(num_vcs <= 8, "stalled_mask is a u8 bitmap");
         let mut reg = Registry::new();
         let nodes = net
             .topo
@@ -257,7 +307,6 @@ impl<'n> Engine<'n> {
             rng: StdRng::seed_from_u64(cfg.seed),
             net,
             num_vcs,
-            cfg,
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
@@ -284,8 +333,13 @@ impl<'n> Engine<'n> {
             c_flows_drained: reg.counter("flows_drained"),
             c_packet_stalls: reg.counter("packet_stalls"),
             c_sim_events: reg.counter("sim_events"),
+            c_retransmits: reg.counter("packet_retransmits"),
             h_msg_latency: reg.histogram("msg_latency_ps"),
+            topo: (!cfg.failures.is_empty()).then(|| net.topo.clone()),
+            next_sched: 0,
+            parked: Vec::new(),
             reg,
+            cfg,
         }
     }
 
@@ -304,7 +358,40 @@ impl<'n> Engine<'n> {
         }
         self.apply_cmds(&mut cmds, app);
 
-        while let Some(Reverse((t, _, ev))) = self.queue.pop() {
+        let sched_len = self.cfg.failures.len();
+        loop {
+            // Merge the failure schedule with the event queue. When the
+            // queue drains, a pending scheduled event only keeps the run
+            // alive if a parked packet is waiting for a repair —
+            // otherwise the rest of the schedule lies beyond the traffic
+            // horizon and stays inert, keeping such runs bit-identical
+            // to runs with no schedule at all.
+            if self.next_sched < sched_len {
+                let at = self.cfg.failures.events()[self.next_sched].at_ps;
+                let due = match self.queue.peek() {
+                    Some(&Reverse((t, _, _))) => at <= t,
+                    None => {
+                        if self.parked.is_empty() {
+                            break;
+                        }
+                        true
+                    }
+                };
+                if due {
+                    let ev = self.cfg.failures.events()[self.next_sched];
+                    self.next_sched += 1;
+                    self.now = self.now.max(ev.at_ps);
+                    if self.now > self.cfg.max_time_ps {
+                        self.stats.timed_out = true;
+                        break;
+                    }
+                    self.apply_link_event(ev);
+                    continue;
+                }
+            }
+            let Some(Reverse((t, _, ev))) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             if t > self.cfg.max_time_ps {
@@ -313,7 +400,22 @@ impl<'n> Engine<'n> {
             }
             self.stats.events += 1;
             match ev {
-                Event::Arrive(node, port, pkt) => self.on_arrive(node, port, pkt, app),
+                Event::Arrive(node, port, pkt, gen) => {
+                    // A stale incarnation means the packet was dropped on
+                    // a failed cable after this event was scheduled; the
+                    // retransmitted copy carries a newer stamp.
+                    if self.packets[pkt as usize].gen == gen {
+                        self.on_arrive(node, port, pkt, app);
+                    }
+                }
+                Event::Retransmit(pkt) => {
+                    let src_rank = self.msgs[self.packets[pkt as usize].msg as usize]
+                        .info
+                        .src_rank;
+                    let src_node = self.net.endpoints[src_rank as usize];
+                    self.nodes[src_node.idx()].nic_pending.push_back(pkt);
+                    self.pump_nic(src_node, None);
+                }
                 Event::PortFree {
                     node,
                     port,
@@ -333,6 +435,22 @@ impl<'n> Engine<'n> {
             }
         }
 
+        // Packets still parked at the end never found a healthy path:
+        // report the disconnection instead of panicking mid-run (their
+        // messages also count as undelivered below).
+        if let Some(&(_, pkt)) = self.parked.first() {
+            let info = self.msgs[self.packets[pkt as usize].msg as usize].info;
+            let failed = self
+                .topo
+                .as_ref()
+                .unwrap_or(&self.net.topo)
+                .count_failed_links();
+            self.stats.error = Some(SimError::Disconnected {
+                src_rank: info.src_rank,
+                dst_rank: info.dst_rank,
+                failed_links: failed,
+            });
+        }
         self.stats.finish_ps = self.now;
         let undelivered = self
             .msgs
@@ -359,6 +477,165 @@ impl<'n> Engine<'n> {
             hxtelemetry::collect::submit(reg, sink);
         }
         self.stats
+    }
+
+    /// Apply one scheduled fail/repair event to the failure-epoch
+    /// topology.
+    ///
+    /// *Fail*: both directed halves of the cable die. Packets queued on
+    /// the dead output ports are re-routed immediately (they never left
+    /// the switch); packets in flight *on* the cable are lost and
+    /// recovered by a sender-side retransmit whose delay follows
+    /// [`SimConfig::retransmit`] — a full RTO with capped exponential
+    /// backoff for `Timeout`, a short NACK-like turnaround for
+    /// `Reroute`. *Repair*: the link returns and parked packets retry.
+    fn apply_link_event(&mut self, ev: LinkEvent) {
+        let Some(topo) = self.topo.as_mut() else {
+            return; // unreachable: topo is Some whenever a schedule exists
+        };
+        match ev.kind {
+            LinkEventKind::Fail => {
+                if !topo.fail_link(ev.node, ev.port) {
+                    return; // already failed: no-op
+                }
+                self.stats.link_fail_events += 1;
+                if self.sink.enabled() {
+                    self.sink.instant_args(
+                        "link_fail",
+                        "fault",
+                        self.now,
+                        vec![
+                            ("node", ev.node.idx() as u64),
+                            ("port", ev.port.idx() as u64),
+                        ],
+                    );
+                }
+                let peer = self.net.topo.peer(ev.node, ev.port);
+                let halves = [(ev.node, ev.port), (peer.node, peer.port)];
+                for &(n, p) in &halves {
+                    self.evacuate_dead_port(n, p);
+                }
+                for &(n, p) in &halves {
+                    self.drop_in_flight(n, p);
+                }
+            }
+            LinkEventKind::Repair => {
+                if !topo.restore_link(ev.node, ev.port) {
+                    return; // not failed: no-op
+                }
+                self.stats.link_repair_events += 1;
+                if self.sink.enabled() {
+                    self.sink.instant_args(
+                        "link_repair",
+                        "fault",
+                        self.now,
+                        vec![
+                            ("node", ev.node.idx() as u64),
+                            ("port", ev.port.idx() as u64),
+                        ],
+                    );
+                }
+                // Parked packets retry; the still-disconnected ones
+                // re-park themselves inside route_and_enqueue.
+                let parked = std::mem::take(&mut self.parked);
+                for (n, pkt) in parked {
+                    self.route_and_enqueue(n, pkt);
+                }
+            }
+        }
+    }
+
+    /// A cable half (sender side `node`/`port`) just died: packets still
+    /// queued on the output port never left the switch, so they re-route
+    /// through the surviving ports; the port's credit-waiter
+    /// registrations on the downstream input buffers are withdrawn (no
+    /// credit will ever come back over a dead wire).
+    fn evacuate_dead_port(&mut self, node: NodeId, port: PortId) {
+        // Withdraw waiter registrations: this port can only ever wait on
+        // the input slots of its own downstream peer.
+        let peer = self.net.topo.peer(node, port);
+        for vc in 0..self.num_vcs {
+            let slot = peer.port.idx() * self.num_vcs + vc;
+            self.nodes[peer.node.idx()].waiters[slot].retain(|&w| w != (node, port));
+        }
+        self.nodes[node.idx()].out[port.idx()].stalled_mask = 0;
+        let mut evacuated: Vec<PacketId> = Vec::new();
+        {
+            let op = &mut self.nodes[node.idx()].out[port.idx()];
+            for q in &mut op.queues {
+                evacuated.extend(q.drain(..));
+            }
+        }
+        let mut bytes_total = 0u64;
+        for &pkt in &evacuated {
+            bytes_total += self.packets[pkt as usize].bytes as u64;
+        }
+        {
+            let op = &mut self.nodes[node.idx()].out[port.idx()];
+            debug_assert_eq!(op.queued_bytes, bytes_total);
+            op.queued_bytes = 0;
+        }
+        self.nodes[node.idx()].out_bytes_total -= bytes_total;
+        for pkt in evacuated {
+            self.route_and_enqueue(node, pkt);
+        }
+    }
+
+    /// Drop the packets currently on the wire toward (`node`, `port`) —
+    /// they reserved that input buffer at transmit time — and schedule
+    /// their sender-side retransmission.
+    fn drop_in_flight(&mut self, node: NodeId, port: PortId) {
+        for pkt in 0..self.packets.len() as PacketId {
+            let held = self.packets[pkt as usize].held;
+            let in_flight = self.packets[pkt as usize].in_flight;
+            let (hn, hp, hvc) = match held {
+                Some(h) if in_flight && (h.0, h.1) == (node, port) => h,
+                _ => continue,
+            };
+            let bytes = self.packets[pkt as usize].bytes as u64;
+            // The reserved downstream buffer never fills: hand the credit
+            // back (its waiters were withdrawn by `evacuate_dead_port`).
+            self.release_buffer(hn, hp, hvc, bytes);
+            let msg = self.packets[pkt as usize].msg;
+            let delay = {
+                let m = &mut self.msgs[msg as usize];
+                m.retransmits += 1;
+                match self.cfg.retransmit {
+                    RetransmitPolicy::Timeout => {
+                        RTO_BASE_PS << m.retransmits.saturating_sub(1).min(RTO_BACKOFF_CAP)
+                    }
+                    // NACK-like: the drop is signalled back to the sender
+                    // after a couple of hop turnarounds.
+                    RetransmitPolicy::Reroute => 4 * self.cfg.hop_latency_ps,
+                }
+            };
+            {
+                let p = &mut self.packets[pkt as usize];
+                p.held = None;
+                p.in_flight = false;
+                p.gen = p.gen.wrapping_add(1); // invalidate the stale Arrive
+                p.vc = 0;
+                p.waypoint = None;
+            }
+            self.stats.packet_retransmits += 1;
+            if self.tel_metrics {
+                self.reg.inc(self.c_retransmits, 1);
+            }
+            if self.sink.enabled() {
+                let info = self.msgs[msg as usize].info;
+                self.sink.instant_args(
+                    "packet_retransmit",
+                    "fault",
+                    self.now,
+                    vec![
+                        ("src", info.src_rank as u64),
+                        ("dst", info.dst_rank as u64),
+                        ("delay_ps", delay),
+                    ],
+                );
+            }
+            self.push_event(self.now + delay, Event::Retransmit(pkt));
+        }
     }
 
     fn apply_cmds(&mut self, cmds: &mut Vec<Cmd>, app: &mut dyn Application) {
@@ -410,6 +687,7 @@ impl<'n> Engine<'n> {
             injected_packets: 0,
             delivered_bytes: 0,
             start_ps: self.now,
+            retransmits: 0,
         });
         self.stats.messages_sent += 1;
         let mut remaining = bytes;
@@ -419,7 +697,7 @@ impl<'n> Engine<'n> {
             let waypoint = if self.cfg.use_waypoints {
                 let probe = EngineProbe { nodes: &self.nodes };
                 self.net.router.select_waypoint(
-                    &self.net.topo,
+                    self.topo.as_ref().unwrap_or(&self.net.topo),
                     src_node,
                     dst_node,
                     &probe,
@@ -435,6 +713,8 @@ impl<'n> Engine<'n> {
                 dst_node,
                 waypoint,
                 held: None,
+                in_flight: false,
+                gen: 0,
             });
             self.nodes[src_node.idx()].nic_pending.push_back(pkt);
         }
@@ -443,7 +723,12 @@ impl<'n> Engine<'n> {
 
     fn alloc_packet(&mut self, st: PacketState) -> PacketId {
         if let Some(id) = self.free_packets.pop() {
+            // Preserve-and-bump the slot's incarnation stamp so an
+            // `Arrive` scheduled for the retired occupant can never be
+            // mistaken for the new one.
+            let gen = self.packets[id as usize].gen.wrapping_add(1);
             self.packets[id as usize] = st;
+            self.packets[id as usize].gen = gen;
             id
         } else {
             self.packets.push(st);
@@ -478,10 +763,11 @@ impl<'n> Engine<'n> {
     /// injection window.
     fn route_and_enqueue_nic(&mut self, node: NodeId, pkt: PacketId) -> bool {
         let min_q = {
+            let topo = self.topo.as_ref().unwrap_or(&self.net.topo);
             let (target, vc) = {
                 let p = &mut self.packets[pkt as usize];
                 if let Some(w) = p.waypoint {
-                    if self.net.router.waypoint_reached(&self.net.topo, node, w) {
+                    if self.net.router.waypoint_reached(topo, node, w) {
                         p.waypoint = None;
                     }
                 }
@@ -491,7 +777,7 @@ impl<'n> Engine<'n> {
             cand.clear();
             self.net
                 .router
-                .candidates(&self.net.topo, node, vc, target, &mut cand);
+                .candidates(topo, node, vc, target, &mut cand);
             let min_q = cand
                 .iter()
                 .map(|h| self.nodes[node.idx()].out[h.port.idx()].queued_bytes)
@@ -508,11 +794,17 @@ impl<'n> Engine<'n> {
     }
 
     /// Route `pkt` at `node` and append it to the chosen output queue.
+    /// A packet with no healthy path — its target is disconnected by the
+    /// current failure set — is *parked* (keeping whatever input buffer
+    /// it occupies) until a scheduled repair re-routes it; a waypoint
+    /// the failures cut off is abandoned in favor of the direct path
+    /// first.
     fn route_and_enqueue(&mut self, node: NodeId, pkt: PacketId) {
+        let topo = self.topo.as_ref().unwrap_or(&self.net.topo);
         let (target, vc) = {
             let p = &mut self.packets[pkt as usize];
             if let Some(w) = p.waypoint {
-                if self.net.router.waypoint_reached(&self.net.topo, node, w) {
+                if self.net.router.waypoint_reached(topo, node, w) {
                     p.waypoint = None;
                 }
             }
@@ -523,13 +815,17 @@ impl<'n> Engine<'n> {
         cand.clear();
         self.net
             .router
-            .candidates(&self.net.topo, node, vc, target, &mut cand);
-        assert!(
-            !cand.is_empty(),
-            "router produced no candidates at {node:?} (vc {vc}) toward {target:?} \
-             ({} failed links — target disconnected by fail_link?)",
-            self.net.topo.count_failed_links()
-        );
+            .candidates(topo, node, vc, target, &mut cand);
+        if cand.is_empty() {
+            self.cand = cand;
+            if self.packets[pkt as usize].waypoint.take().is_some()
+                && node != self.packets[pkt as usize].dst_node
+            {
+                return self.route_and_enqueue(node, pkt);
+            }
+            self.parked.push((node, pkt));
+            return;
+        }
         // Score: free downstream credits minus our queued bytes.
         let mut best = 0usize;
         let mut best_score = i64::MIN;
@@ -637,6 +933,7 @@ impl<'n> Engine<'n> {
         let prev_held = self.packets[pkt as usize]
             .held
             .replace((peer.node, peer.port, vc));
+        self.packets[pkt as usize].in_flight = true;
         let msg = self.packets[pkt as usize].msg;
         self.push_event(
             self.now + ser,
@@ -653,9 +950,10 @@ impl<'n> Engine<'n> {
         } else {
             ser
         };
+        let gen = self.packets[pkt as usize].gen;
         self.push_event(
             self.now + fwd_ser + link.spec.latency_ps + self.cfg.hop_latency_ps,
-            Event::Arrive(peer.node, peer.port, pkt),
+            Event::Arrive(peer.node, peer.port, pkt, gen),
         );
     }
 
@@ -716,6 +1014,7 @@ impl<'n> Engine<'n> {
 
     fn on_arrive(&mut self, node: NodeId, port: PortId, pkt: PacketId, app: &mut dyn Application) {
         let _ = port;
+        self.packets[pkt as usize].in_flight = false;
         let dst = self.packets[pkt as usize].dst_node;
         if node == dst {
             // Ejection: free the buffer immediately and deliver.

@@ -49,6 +49,8 @@
 //! unchanged components, and the two modes stay bitwise-equivalent —
 //! `tests/flow_incremental_equiv.rs` pins that differentially.
 //!
+//! ## Fault injection: frozen failure sets and mid-run link events
+//!
 //! Routes avoid links marked failed via [`hxnet::Topology::fail_link`]
 //! exactly like the packet engine does, because both ask the same
 //! [`hxnet::Router`] for candidates: under fault injection every router
@@ -56,15 +58,32 @@
 //! `hxnet::route::FailoverTable`, so the multipath route sets built here
 //! contain only healthy links and the two engines agree on which paths
 //! exist. Waypoint classes the failure set cuts off are dropped by
-//! `Router::waypoint_options` before any subflow is built over them; a
-//! destination the failure set disconnects entirely is a hard error at
-//! injection (`start_send`), mirroring the packet engine.
+//! `Router::waypoint_options` before any subflow is built over them.
+//!
+//! Beyond the frozen (pre-run) failure set, [`SimConfig::failures`] can
+//! carry a [`crate::FailureSchedule`] of *in-run* fail/repair events. The
+//! schedule advances a private copy of the topology at the scheduled
+//! instants, merged into the rate-change epoch loop; a cable failure is
+//! just another change seed for the O(affected) incremental solver.
+//! Flows whose route set crosses the dead cable bank their
+//! already-carried bytes into the traffic stats (exactly the drain-time
+//! flush) and re-route over the failure-epoch topology; flows the event
+//! leaves with no healthy path *stall* — they hold their remaining bytes
+//! off the network, accumulate [`SimStats::flow_stall_ps`], and resume
+//! when a scheduled repair reconnects them. Routes are still fixed at
+//! (re-)injection: a repair does not pull already-routed flows back onto
+//! the shorter healthy path, mirroring how real fabrics leave
+//! established routes alone until the next path computation. A run that
+//! ends with stalled flows reports [`SimError::Disconnected`] instead of
+//! panicking; the same applies to a send injected while its destination
+//! is unreachable.
 
 use crate::app::{Application, Cmd, Ctx, MsgInfo};
-use crate::stats::SimStats;
+use crate::failure::LinkEventKind;
+use crate::stats::{SimError, SimStats};
 use crate::{RateMode, SimConfig, Time};
 use hxnet::route::Hop;
-use hxnet::{Network, NodeId, PortId};
+use hxnet::{Network, NodeId, PortId, Topology};
 use hxtelemetry::{CounterId, HistId, Registry, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -244,6 +263,21 @@ pub struct FlowEngine<'n> {
     old_rate_scratch: Vec<(FlowId, u64)>,
     /// Flows whose rate bit pattern changed in the current epoch.
     epoch_changed: u64,
+    /// Private failure-epoch topology, `Some` iff the run carries a
+    /// non-empty [`crate::FailureSchedule`]. Cloned once at construction
+    /// so mid-run fail/repair events never mutate the shared `Network`;
+    /// an empty schedule routes over `net.topo` directly and pays only
+    /// one `next_sched < len` branch per epoch.
+    topo: Option<Topology>,
+    /// Cursor into `cfg.failures` (sorted by time).
+    next_sched: usize,
+    /// Flows with no healthy path, as `(flow, stall start instant)`.
+    /// Retried on every repair; still-stalled entries at the end of the
+    /// run surface as [`SimError::Disconnected`].
+    stalled: Vec<(FlowId, f64)>,
+    c_link_fail: CounterId,
+    c_link_repair: CounterId,
+    c_flow_reroute: CounterId,
 }
 
 impl<'n> FlowEngine<'n> {
@@ -266,7 +300,6 @@ impl<'n> FlowEngine<'n> {
         }
         Self {
             net,
-            cfg,
             now: 0.0,
             seq: 0,
             queue: BinaryHeap::new(),
@@ -314,9 +347,16 @@ impl<'n> FlowEngine<'n> {
             c_rate_changed: reg.counter("rate_changed_flows"),
             c_sim_events: reg.counter("sim_events"),
             h_msg_latency: reg.histogram("msg_latency_ps"),
+            c_link_fail: reg.counter("link_fail_events"),
+            c_link_repair: reg.counter("link_repair_events"),
+            c_flow_reroute: reg.counter("flow_reroutes"),
+            topo: (!cfg.failures.is_empty()).then(|| net.topo.clone()),
+            next_sched: 0,
+            stalled: Vec::new(),
             reg,
             old_rate_scratch: Vec::new(),
             epoch_changed: 0,
+            cfg,
         }
     }
 
@@ -353,6 +393,24 @@ impl<'n> FlowEngine<'n> {
             if let Some(Reverse((TimeKey(t), _, _))) = self.queue.peek() {
                 t_next = t_next.min(*t);
             }
+            // Merge the failure schedule into the epoch instants. When
+            // traffic is exhausted (`t_next` infinite) a pending event
+            // only keeps the run alive if a stalled flow is waiting for
+            // a repair — otherwise the remaining schedule is beyond the
+            // traffic horizon and must stay inert, so runs whose events
+            // all land after completion are bitwise-identical to runs
+            // with no schedule at all.
+            {
+                let sched = self.cfg.failures.events();
+                if self.next_sched < sched.len() {
+                    let st = (sched[self.next_sched].at_ps as f64).max(self.now);
+                    if t_next.is_finite() {
+                        t_next = t_next.min(st);
+                    } else if !self.stalled.is_empty() {
+                        t_next = st;
+                    }
+                }
+            }
             if !t_next.is_finite() {
                 break; // no active flows and no events: done (or stuck)
             }
@@ -377,12 +435,33 @@ impl<'n> FlowEngine<'n> {
             let quantum = (self.now * COALESCE_REL).max(COALESCE_ABS_PS);
             let mut dirty = false;
             dirty |= self.complete_drained_flows(quantum, app);
+            dirty |= self.apply_link_events(quantum);
             dirty |= self.pop_due_events(quantum, app);
             if dirty {
                 self.recompute_rates();
             }
         }
 
+        // Flows still stalled when the run ends never found a healthy
+        // path: charge their wait and report the disconnection instead of
+        // panicking (their messages also count as undelivered below).
+        if !self.stalled.is_empty() {
+            for &(_f, since) in &self.stalled {
+                self.stats.flow_stall_ps += (self.now - since).max(0.0).round() as u64;
+            }
+            let (f, _) = self.stalled[0];
+            let info = self.msgs[self.flows[f as usize].msg as usize].info;
+            let failed = self
+                .topo
+                .as_ref()
+                .unwrap_or(&self.net.topo)
+                .count_failed_links();
+            self.stats.error = Some(SimError::Disconnected {
+                src_rank: info.src_rank,
+                dst_rank: info.dst_rank,
+                failed_links: failed,
+            });
+        }
         self.stats.finish_ps = self.now.round() as Time;
         self.stats.undelivered_messages = self.msgs.iter().filter(|m| !m.done).count();
         if self.tel_any {
@@ -455,40 +534,9 @@ impl<'n> FlowEngine<'n> {
                     needs_recompute = true;
                 }
             }
-            let fl = &mut self.flows[f as usize];
+            let fl = &self.flows[f as usize];
             let (msg, latency_ps) = (fl.msg, fl.latency_ps);
-            let pkt_bytes = self.cfg.packet_bytes as f64;
-            for mut r in fl.routes.drain(..) {
-                // Packet-equivalent traffic accounting at drain time; the
-                // per-route byte split is what the fluid model carried.
-                let pkts = (r.carried / pkt_bytes).ceil() as u64;
-                self.stats.packets_forwarded += pkts * r.links.len() as u64;
-                for &li in &r.links {
-                    let (n, _) = self.link_owner[li as usize];
-                    self.stats.node_forwarded[n.idx()] += pkts;
-                    self.stats.total_link_busy_ps +=
-                        (r.carried / self.link_cap[li as usize]).round() as u64;
-                    debug_assert!(self.link_nflows[li as usize] > 0);
-                    self.link_nflows[li as usize] -= 1;
-                    // Drop `f` from the link's incidence list (once —
-                    // later routes revisiting the link find it gone) and
-                    // seed the link if other draining flows remain: their
-                    // fair share grows now that we left, so only *their*
-                    // component must be refilled. Links whose remaining
-                    // subscribers are all gated seed nothing — a gated
-                    // flow holds no rate and constrains no fill.
-                    let lf = &mut self.link_flows[li as usize];
-                    if let Some(pos) = lf.iter().position(|&g| g == f) {
-                        lf.swap_remove(pos);
-                    }
-                    if !lf.is_empty() {
-                        self.seed_links.push(li);
-                        needs_recompute = true;
-                    }
-                }
-                r.links.clear();
-                self.spare_links.push(r.links);
-            }
+            needs_recompute |= self.flush_routes(f);
             self.free_flows.push(f);
 
             let info = self.msgs[msg as usize].info;
@@ -516,6 +564,239 @@ impl<'n> FlowEngine<'n> {
             needs_recompute = true;
         }
         needs_recompute
+    }
+
+    /// Bank a flow's carried bytes into the traffic stats and release its
+    /// link subscriptions, draining its route set. Shared between drain
+    /// retirement and mid-run reroutes (a reroute is an early drain of the
+    /// old path followed by a fresh injection over the new one). Returns
+    /// true when a released link still has draining subscribers — their
+    /// fair share grows now that we left, so their component is seeded.
+    fn flush_routes(&mut self, f: FlowId) -> bool {
+        let mut needs_recompute = false;
+        let pkt_bytes = self.cfg.packet_bytes as f64;
+        let mut routes = std::mem::take(&mut self.flows[f as usize].routes);
+        for mut r in routes.drain(..) {
+            // Packet-equivalent traffic accounting at drain time; the
+            // per-route byte split is what the fluid model carried.
+            let pkts = (r.carried / pkt_bytes).ceil() as u64;
+            self.stats.packets_forwarded += pkts * r.links.len() as u64;
+            for &li in &r.links {
+                let (n, _) = self.link_owner[li as usize];
+                self.stats.node_forwarded[n.idx()] += pkts;
+                self.stats.total_link_busy_ps +=
+                    (r.carried / self.link_cap[li as usize]).round() as u64;
+                debug_assert!(self.link_nflows[li as usize] > 0);
+                self.link_nflows[li as usize] -= 1;
+                // Drop `f` from the link's incidence list (once —
+                // later routes revisiting the link find it gone) and
+                // seed the link if other draining flows remain. Links
+                // whose remaining subscribers are all gated seed
+                // nothing — a gated flow holds no rate and constrains
+                // no fill.
+                let lf = &mut self.link_flows[li as usize];
+                if let Some(pos) = lf.iter().position(|&g| g == f) {
+                    lf.swap_remove(pos);
+                }
+                if !lf.is_empty() {
+                    self.seed_links.push(li);
+                    needs_recompute = true;
+                }
+            }
+            r.links.clear();
+            self.spare_links.push(r.links);
+        }
+        needs_recompute
+    }
+
+    /// Apply every scheduled link event due at the current epoch (within
+    /// the coalescing `quantum`, like drains and timed events). A *fail*
+    /// advances the private failure-epoch topology, then reroutes every
+    /// flow whose route set crosses the dead cable — banking carried
+    /// bytes, rebuilding routes over the new topology, stalling the flow
+    /// if none exist. A *repair* restores the link and retries the
+    /// stalled flows. Returns true when rates must be recomputed.
+    fn apply_link_events(&mut self, quantum: f64) -> bool {
+        let mut dirty = false;
+        loop {
+            let ev = {
+                let sched = self.cfg.failures.events();
+                match sched.get(self.next_sched) {
+                    Some(ev) if ev.at_ps as f64 <= self.now + quantum => *ev,
+                    _ => break,
+                }
+            };
+            self.next_sched += 1;
+            let Some(topo) = self.topo.as_mut() else {
+                break; // unreachable: topo is Some whenever a schedule exists
+            };
+            let now_ps = self.now.round() as Time;
+            match ev.kind {
+                LinkEventKind::Fail => {
+                    if !topo.fail_link(ev.node, ev.port) {
+                        continue; // already failed: no-op
+                    }
+                    self.stats.link_fail_events += 1;
+                    if self.tel_metrics {
+                        self.reg.inc(self.c_link_fail, 1);
+                    }
+                    if self.sink.enabled() {
+                        self.sink.instant_args(
+                            "link_fail",
+                            "fault",
+                            now_ps,
+                            vec![
+                                ("node", ev.node.idx() as u64),
+                                ("port", ev.port.idx() as u64),
+                            ],
+                        );
+                    }
+                    // Both directed halves of the cable die together.
+                    let li1 = self.link_idx(ev.node, ev.port);
+                    let peer = self.net.topo.peer(ev.node, ev.port);
+                    let li2 = self.link_idx(peer.node, peer.port);
+                    // Every flow with a route over either half must leave
+                    // the link. Scanning all flow slots is fine: fail
+                    // events are rare and drained/free slots hold empty
+                    // route sets.
+                    let mut affected: Vec<FlowId> = Vec::new();
+                    for (i, fl) in self.flows.iter().enumerate() {
+                        if fl
+                            .routes
+                            .iter()
+                            .any(|r| r.links.iter().any(|&l| l == li1 || l == li2))
+                        {
+                            affected.push(i as FlowId);
+                        }
+                    }
+                    for f in affected {
+                        self.reroute_flow(f);
+                        dirty = true;
+                    }
+                }
+                LinkEventKind::Repair => {
+                    if !topo.restore_link(ev.node, ev.port) {
+                        continue; // not failed: no-op
+                    }
+                    self.stats.link_repair_events += 1;
+                    if self.tel_metrics {
+                        self.reg.inc(self.c_link_repair, 1);
+                    }
+                    if self.sink.enabled() {
+                        self.sink.instant_args(
+                            "link_repair",
+                            "fault",
+                            now_ps,
+                            vec![
+                                ("node", ev.node.idx() as u64),
+                                ("port", ev.port.idx() as u64),
+                            ],
+                        );
+                    }
+                    // Retry every stalled flow; those still unreachable
+                    // stay stalled (their wait keeps accumulating).
+                    let stalled = std::mem::take(&mut self.stalled);
+                    for (f, since) in stalled {
+                        let info = self.msgs[self.flows[f as usize].msg as usize].info;
+                        let src_node = self.net.endpoints[info.src_rank as usize];
+                        let dst_node = self.net.endpoints[info.dst_rank as usize];
+                        let (routes, latency_ps) = self.build_routes(src_node, dst_node);
+                        if routes.is_empty() {
+                            self.stalled.push((f, since));
+                            continue;
+                        }
+                        self.stats.flow_stall_ps += (self.now - since).max(0.0).round() as u64;
+                        self.attach_routes(f, routes, latency_ps);
+                        dirty = true;
+                    }
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Pull a live flow off a just-failed cable: bank its carried bytes,
+    /// release its old subscriptions and NIC queue slots, and re-inject
+    /// it over the failure-epoch topology (or stall it if disconnected).
+    fn reroute_flow(&mut self, f: FlowId) {
+        if !self.flows[f as usize].gated {
+            if let Some(pos) = self.active.iter().position(|&g| g == f) {
+                self.active.swap_remove(pos);
+            }
+        }
+        // Leave the old NIC injection FIFOs, letting successors through
+        // exactly as a drain does.
+        let mut candidates: Vec<FlowId> = Vec::new();
+        for li in Self::first_links(&self.flows[f as usize].routes) {
+            let q = &mut self.inj_queue[li as usize];
+            if let Some(pos) = q.iter().position(|&g| g == f) {
+                q.remove(pos);
+                for &g in q.iter() {
+                    if self.flows[g as usize].gated && !candidates.contains(&g) {
+                        candidates.push(g);
+                    }
+                }
+            }
+        }
+        self.flush_routes(f);
+        {
+            let fl = &mut self.flows[f as usize];
+            fl.rate = 0.0;
+            fl.gated = true;
+        }
+        let info = self.msgs[self.flows[f as usize].msg as usize].info;
+        let src_node = self.net.endpoints[info.src_rank as usize];
+        let dst_node = self.net.endpoints[info.dst_rank as usize];
+        let (routes, latency_ps) = self.build_routes(src_node, dst_node);
+        if routes.is_empty() {
+            // Temporarily disconnected: wait for a scheduled repair.
+            self.stalled.push((f, self.now));
+        } else {
+            self.attach_routes(f, routes, latency_ps);
+            self.stats.flows_rerouted += 1;
+            if self.tel_metrics {
+                self.reg.inc(self.c_flow_reroute, 1);
+            }
+            if self.sink.enabled() {
+                self.sink.instant_args(
+                    "flow_reroute",
+                    "fault",
+                    self.now.round() as Time,
+                    vec![("src", info.src_rank as u64), ("dst", info.dst_rank as u64)],
+                );
+            }
+        }
+        for g in candidates {
+            if self.flows[g as usize].gated
+                && !self.flows[g as usize].routes.is_empty()
+                && self.nic_eligible(g)
+            {
+                self.activate(g);
+            }
+        }
+    }
+
+    /// Install a freshly built route set on a gated flow: subscribe its
+    /// links, park it in the NIC injection FIFOs, and activate it if
+    /// nothing window-sized sits ahead.
+    fn attach_routes(&mut self, f: FlowId, routes: Vec<Route>, latency_ps: u64) {
+        for r in &routes {
+            for &li in &r.links {
+                self.link_nflows[li as usize] += 1;
+            }
+        }
+        {
+            let fl = &mut self.flows[f as usize];
+            fl.routes = routes;
+            fl.latency_ps = latency_ps;
+        }
+        let firsts: Vec<u32> = Self::first_links(&self.flows[f as usize].routes).collect();
+        for li in firsts {
+            self.inj_queue[li as usize].push(f);
+        }
+        if self.nic_eligible(f) {
+            self.activate(f);
+        }
     }
 
     /// Execute all queue events due at the current time, plus any within
@@ -612,13 +893,45 @@ impl<'n> FlowEngine<'n> {
             start_ps,
         });
 
+        let (routes, latency_ps) = self.build_routes(src_node, dst_node);
+        let f = self.alloc_flow(FlowState {
+            msg: msg_id,
+            routes: Vec::new(),
+            latency_ps: 0,
+            remaining: bytes as f64,
+            rate: 0.0,
+            gated: true,
+            large: bytes >= self.cfg.nic_port_window_bytes,
+        });
+        if routes.is_empty() {
+            // Destination currently disconnected: the flow stalls at the
+            // NIC and resumes if a scheduled repair reconnects it; a run
+            // ending with stalled flows reports [`SimError::Disconnected`].
+            self.stalled.push((f, self.now));
+            return;
+        }
+        // Subscribe the links and enqueue on the NIC injection FIFOs of
+        // the routes' first links; the flow drains once nothing
+        // window-sized sits ahead of it.
+        self.attach_routes(f, routes, latency_ps);
+    }
+
+    /// Build the multipath route set from `src_node` to `dst_node` over
+    /// the current failure-epoch topology (the private scheduled copy
+    /// when a [`crate::FailureSchedule`] is in effect, the shared network
+    /// topology otherwise): one route per waypoint class x distinct
+    /// first-hop candidate. Empty iff the destination is unreachable.
+    fn build_routes(&mut self, src_node: NodeId, dst_node: NodeId) -> (Vec<Route>, u64) {
+        let net = self.net;
+        let topo_owned = self.topo.take();
+        let topo = topo_owned.as_ref().unwrap_or(&net.topo);
+
         // Route classes: direct, plus each router-provided waypoint.
         let mut waypoints = std::mem::take(&mut self.waypoints);
         waypoints.clear();
         if self.cfg.use_waypoints {
-            self.net
-                .router
-                .waypoint_options(&self.net.topo, src_node, dst_node, &mut waypoints);
+            net.router
+                .waypoint_options(topo, src_node, dst_node, &mut waypoints);
         }
         let mut routes: Vec<Route> = Vec::new();
         let mut latency_ps = 0u64;
@@ -626,16 +939,14 @@ impl<'n> FlowEngine<'n> {
             let target = class.unwrap_or(dst_node);
             let mut cand = std::mem::take(&mut self.cand);
             cand.clear();
-            self.net
-                .router
-                .candidates(&self.net.topo, src_node, 0, target, &mut cand);
+            net.router.candidates(topo, src_node, 0, target, &mut cand);
             let mut seen_ports: Vec<PortId> = Vec::with_capacity(cand.len());
             for h in &cand {
                 if seen_ports.contains(&h.port) {
                     continue;
                 }
                 seen_ports.push(h.port);
-                let (links, lat) = self.walk_route(src_node, dst_node, class, *h);
+                let (links, lat) = self.walk_route(topo, src_node, dst_node, class, *h);
                 latency_ps = latency_ps.max(lat);
                 routes.push(Route {
                     links,
@@ -646,36 +957,8 @@ impl<'n> FlowEngine<'n> {
             self.cand = cand;
         }
         self.waypoints = waypoints;
-        assert!(
-            !routes.is_empty(),
-            "no route from rank {src} to rank {dst} on {} \
-             ({} failed links — destination disconnected?)",
-            self.net.name,
-            self.net.topo.count_failed_links()
-        );
-
-        for r in &routes {
-            for &li in &r.links {
-                self.link_nflows[li as usize] += 1;
-            }
-        }
-        let f = self.alloc_flow(FlowState {
-            msg: msg_id,
-            routes,
-            latency_ps,
-            remaining: bytes as f64,
-            rate: 0.0,
-            gated: true,
-            large: bytes >= self.cfg.nic_port_window_bytes,
-        });
-        // Enqueue on the NIC injection FIFOs of the routes' first links;
-        // the flow drains once nothing window-sized sits ahead of it.
-        for li in Self::first_links(&self.flows[f as usize].routes) {
-            self.inj_queue[li as usize].push(f);
-        }
-        if self.nic_eligible(f) {
-            self.activate(f);
-        }
+        self.topo = topo_owned;
+        (routes, latency_ps)
     }
 
     /// Activate a flow: mark it draining, register it on the incidence
@@ -737,12 +1020,12 @@ impl<'n> FlowEngine<'n> {
     /// keeping the walk deterministic).
     fn walk_route(
         &mut self,
+        topo: &Topology,
         src: NodeId,
         dst: NodeId,
         mut waypoint: Option<NodeId>,
         first: Hop,
     ) -> (Vec<u32>, u64) {
-        let topo = &self.net.topo;
         let router = &self.net.router;
         let mut links = self.spare_links.pop().unwrap_or_default();
         let mut visited: Vec<NodeId> = vec![src];

@@ -37,16 +37,20 @@
 pub mod app;
 pub mod apps;
 pub mod engine;
+pub mod failure;
 pub mod flow;
 pub mod stats;
 
 #[cfg(test)]
 mod tests_edge;
+#[cfg(test)]
+mod tests_midrun;
 
 pub use app::{Application, Cmd, Ctx, MsgInfo};
 pub use engine::{Engine, RateMode, SimConfig};
+pub use failure::{FailureSchedule, LinkEvent, LinkEventKind, RetransmitPolicy};
 pub use flow::FlowEngine;
-pub use stats::SimStats;
+pub use stats::{SimError, SimStats};
 
 /// Simulated time in picoseconds.
 pub type Time = u64;

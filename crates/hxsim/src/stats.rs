@@ -2,6 +2,40 @@
 
 use crate::Time;
 
+/// A structured, non-fatal simulation failure. Replaces the engines'
+/// historical `panic!` on a disconnected destination: a run whose
+/// failure set (static or mid-run) leaves some traffic with no path
+/// *reports* through [`SimStats::error`] instead of aborting the
+/// process, so sweep drivers can record the cell and move on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Traffic between the named ranks was still cut off from its
+    /// destination when the run ended (stalled flows / parked packets
+    /// with no repair left on the schedule).
+    Disconnected {
+        src_rank: u32,
+        dst_rank: u32,
+        /// Failed-link count at the end of the run, for the message.
+        failed_links: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Disconnected {
+                src_rank,
+                dst_rank,
+                failed_links,
+            } => write!(
+                f,
+                "rank {src_rank} -> rank {dst_rank} disconnected at end of run \
+                 ({failed_links} failed links)"
+            ),
+        }
+    }
+}
+
 /// Counters and timing collected over one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimStats {
@@ -50,6 +84,24 @@ pub struct SimStats {
     /// its output ports. Used to verify the §IV-A no-interference claim —
     /// traffic of a job never crosses boards of another job.
     pub node_forwarded: Vec<u64>,
+    /// Mid-run cable failures applied from the [`crate::FailureSchedule`]
+    /// (no-op re-fails of an already-dead cable are not counted).
+    pub link_fail_events: u64,
+    /// Mid-run cable repairs applied from the schedule (no-op repairs of
+    /// a healthy cable are not counted).
+    pub link_repair_events: u64,
+    /// Flow engine: flows whose route set was rebuilt because a mid-run
+    /// failure cut a link they were crossing.
+    pub flows_rerouted: u64,
+    /// Flow engine: cumulative picoseconds flows spent stalled with no
+    /// healthy route, waiting for a repair (or the end of the run).
+    pub flow_stall_ps: u64,
+    /// Packet engine: packets dropped on a failed cable and re-injected
+    /// by the sender under the configured [`crate::RetransmitPolicy`].
+    pub packet_retransmits: u64,
+    /// Structured failure report (see [`SimError`]); `Some` makes the
+    /// run not [`SimStats::clean`].
+    pub error: Option<SimError>,
 }
 
 impl SimStats {
@@ -75,9 +127,10 @@ impl SimStats {
             .collect()
     }
 
-    /// True if the run completed every message without timing out.
+    /// True if the run completed every message without timing out or
+    /// reporting a structured error.
     pub fn clean(&self) -> bool {
-        !self.timed_out && self.undelivered_messages == 0
+        !self.timed_out && self.undelivered_messages == 0 && self.error.is_none()
     }
 
     /// Mean utilization of the network's directed links over the run:

@@ -304,6 +304,107 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random connectivity-preserving *mid-run* fail/repair schedules on
+    /// every fault-model topology always deliver all traffic, on both
+    /// engines. Connectivity is validated once with every drawn cable
+    /// failed simultaneously — connectivity is monotone in the edge set,
+    /// so every epoch the schedule can reach (a subset of the drawn
+    /// cables down at a time) is connected too, and the run must end
+    /// clean: flows re-route (flow engine) or dropped packets retransmit
+    /// (packet engine) until every message lands.
+    #[test]
+    fn prop_midrun_fail_repair_always_delivers(
+        net_idx in 0usize..7,
+        engine_idx in 0usize..2,
+        k in 1usize..4,
+        with_repairs in 0usize..2,
+        seed in 0u64..5_000,
+    ) {
+        use hammingmesh::hxsim::FailureSchedule;
+        use rand::{Rng, SeedableRng};
+        let mut net = fault_net(net_idx);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cables = net.topo.cables();
+        let mut sched = FailureSchedule::new();
+        let mut drawn = Vec::new();
+        for _ in 0..k {
+            let (n, p) = cables[rng.random_range(0..cables.len())];
+            if !net.topo.fail_link(n, p) {
+                continue; // duplicate draw
+            }
+            if !net.endpoints_connected() {
+                net.topo.restore_link(n, p);
+                continue; // load-bearing cable: redraw
+            }
+            let at = rng.random_range(1_000..4_000_000u64);
+            sched = sched.fail(at, n, p);
+            if with_repairs == 1 {
+                sched = sched.repair(at + rng.random_range(1_000..4_000_000u64), n, p);
+            }
+            drawn.push((n, p));
+        }
+        // The run starts on the pristine fabric; the engines advance
+        // their private failure epoch from the schedule.
+        for (n, p) in drawn {
+            net.topo.restore_link(n, p);
+        }
+        prop_assume!(!sched.is_empty());
+        let engine = [EngineKind::Packet, EngineKind::Flow][engine_idx];
+        let mut app = hammingmesh::hxsim::apps::Alltoall::new(net.num_ranks(), 2048, 2);
+        let cfg = SimConfig {
+            max_time_ps: 200_000_000_000,
+            failures: sched,
+            ..Default::default()
+        };
+        let stats = simulate(&net, cfg, engine, &mut app);
+        prop_assert!(
+            stats.clean(),
+            "{} / {:?}: mid-run schedule lost traffic: {:?}",
+            net.name, engine, stats
+        );
+    }
+
+    /// A schedule whose events all land beyond the horizon never touches
+    /// the run: zero retransmissions, zero re-routes, zero stall time,
+    /// zero applied epoch events — on either engine. No failure ever hits
+    /// an in-flight packet, so the recovery counters must stay silent.
+    #[test]
+    fn prop_after_horizon_schedule_counters_stay_zero(
+        net_idx in 0usize..7,
+        engine_idx in 0usize..2,
+        k in 1usize..5,
+        seed in 0u64..5_000,
+    ) {
+        use hammingmesh::hxsim::FailureSchedule;
+        use rand::{Rng, SeedableRng};
+        let net = fault_net(net_idx);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cables = net.topo.cables();
+        let mut sched = FailureSchedule::new();
+        for i in 0..k {
+            let (n, p) = cables[rng.random_range(0..cables.len())];
+            let at = 1_000_000_000_000_000 + i as u64;
+            sched = sched.fail(at, n, p).repair(at + 1_000, n, p);
+        }
+        let engine = [EngineKind::Packet, EngineKind::Flow][engine_idx];
+        let mut app = hammingmesh::hxsim::apps::Alltoall::new(net.num_ranks(), 2048, 2);
+        let cfg = SimConfig {
+            failures: sched,
+            ..Default::default()
+        };
+        let stats = simulate(&net, cfg, engine, &mut app);
+        prop_assert!(stats.clean(), "{} / {:?}: {:?}", net.name, engine, stats);
+        prop_assert_eq!(stats.packet_retransmits, 0);
+        prop_assert_eq!(stats.flows_rerouted, 0);
+        prop_assert_eq!(stats.flow_stall_ps, 0);
+        prop_assert_eq!(stats.link_fail_events, 0);
+        prop_assert_eq!(stats.link_repair_events, 0);
+    }
+}
+
 /// The topology x router combinations the fault-model proptests cover:
 /// every baseline topology under its own adaptive router, plus the
 /// generic [`ShortestPathRouter`] over representative switch-centric and
